@@ -1,0 +1,32 @@
+# Convenience targets for the clumsy-packet-processor reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench artifacts examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artifact via the CLI (quick versions).
+artifacts:
+	$(PYTHON) -m repro all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/overclocking_study.py route 150
+	$(PYTHON) examples/dynamic_adaptation.py
+	$(PYTHON) examples/custom_application.py
+	$(PYTHON) examples/operating_point.py route
+	$(PYTHON) examples/multicore_np.py
+
+all: test bench
+
+clean:
+	rm -rf build *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,44 @@
+"""Benchmark support: every bench emits its paper artifact as text.
+
+Artifacts are printed (visible with ``pytest -s`` or on failure) and also
+written to ``benchmarks/artifacts/<id>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced tables
+and figures on disk for comparison against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture
+def emit(artifact_dir):
+    """Print an artifact and persist it under its experiment id."""
+    def _emit(experiment_id: str, text: str) -> None:
+        print()
+        print(text)
+        (artifact_dir / f"{experiment_id}.txt").write_text(text + "\n")
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Simulation benches are minutes-scale aggregates; statistical rounds
+    would multiply the cost without adding information.
+    """
+    def _once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return _once

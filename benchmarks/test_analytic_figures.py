@@ -1,0 +1,79 @@
+"""Benches for the analytic artifacts: Figures 1(b), 2(b), 3, 4, 5.
+
+These regenerate the fault-physics figures straight from the models and
+assert the calibration anchors the paper publishes.
+"""
+
+import pytest
+
+from repro.core.constants import BASE_FAULT_PROBABILITY_PER_BIT
+from repro.core.fault_model import default_fault_model
+from repro.harness import figures
+
+
+class TestFig1bVoltage:
+    def test_fig1b(self, once, emit):
+        text = once(figures.render_fig1b)
+        emit("fig1b", text)
+        points = dict(figures.fig1b_voltage_swing(points=21))
+        assert points[1.0] == pytest.approx(1.0)
+        assert points[0.25] == pytest.approx(0.55, abs=0.01)
+
+
+class TestFig2bNoise:
+    def test_fig2b(self, once, emit):
+        text = once(figures.render_fig2b)
+        emit("fig2b", text)
+        curves = figures.fig2b_noise_immunity()
+        # Figure 2(b): the full-swing curve sits highest everywhere.
+        full = curves[1.0]
+        for swing, curve in curves.items():
+            if swing < 1.0:
+                assert all(low < high for (_, low), (_, high)
+                           in zip(curve, full))
+
+
+class TestFig3Switching:
+    def test_fig3(self, once, emit):
+        text = once(figures.render_fig3, 8)
+        emit("fig3", text)
+        histogram, fit = figures.fig3_switching(8)
+        assert sum(count for _, count in histogram) == 4 ** 8
+        assert fit.k2 > 0
+
+
+class TestFig4FaultVsSwing:
+    def test_fig4(self, once, emit):
+        text = once(figures.render_fig4)
+        emit("fig4", text)
+        series = figures.fig4_fault_vs_swing()
+        probabilities = [probability for _, probability in series]
+        assert all(b <= a for a, b in zip(probabilities, probabilities[1:]))
+
+
+class TestFig5FaultVsCycle:
+    def test_fig5(self, once, emit):
+        text = once(figures.render_fig5)
+        emit("fig5", text)
+        rows, fitted = figures.fig5_fault_vs_cycle()
+        by_cycle = {cr: model_p for cr, model_p, _ in rows}
+        assert by_cycle[1.0] == pytest.approx(
+            BASE_FAULT_PROBABILITY_PER_BIT, rel=1e-3)
+        # The knee: flat region then a sharp rise below Cr ~ 0.4.
+        assert by_cycle[0.25] / by_cycle[1.0] == pytest.approx(100, rel=0.01)
+        assert by_cycle[0.5] / by_cycle[1.0] < 10
+        assert fitted.exponent > 0
+
+
+class TestModelEvaluationSpeed:
+    def test_fault_probability_throughput(self, benchmark):
+        """Microbenchmark: fault-model evaluations per second."""
+        model = default_fault_model()
+        cycle_times = [0.25 + (i % 76) * 0.01 for i in range(200)]
+
+        def evaluate_many():
+            return sum(model.single_bit_probability(cr)
+                       for cr in cycle_times)
+
+        total = benchmark(evaluate_many)
+        assert total > 0

@@ -1,0 +1,316 @@
+"""Benches for the extension studies (beyond the paper's figures).
+
+* Protection-scheme comparison: parity strikes vs the SEC-DED correction
+  the paper dismissed on energy grounds (Section 4), plus sub-block
+  recovery (footnote 2).
+* Clumsy over-clocking vs dynamic voltage scaling at equal speed.
+* Multi-engine scaling with a shared L2 (Section 4's NP organisation).
+* Fault anatomy: AVF-style attribution of injected faults to application
+  structures and the Section-5.2 errors-per-fault rate.
+"""
+
+from repro.core.dvs import compare_techniques
+from repro.core.recovery import (
+    NO_DETECTION,
+    SECDED,
+    TWO_STRIKE,
+    TWO_STRIKE_SUB_BLOCK,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.harness.report import render_table
+from repro.harness.vulnerability import attribute_faults, render_vulnerability
+from repro.system.multicore import run_multicore
+
+PACKETS = 300
+SEEDS = (7, 11, 23)
+SCALE = 20.0
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+class TestProtectionSchemes:
+    def test_parity_vs_secded_vs_subblock(self, once, emit):
+        policies = (NO_DETECTION, TWO_STRIKE, TWO_STRIKE_SUB_BLOCK, SECDED)
+
+        def measure():
+            rows = []
+            for policy in policies:
+                fallibility, energy, product = [], [], []
+                for seed in SEEDS:
+                    base = run_experiment(ExperimentConfig(
+                        app="md5", packet_count=PACKETS, seed=seed,
+                        cycle_time=1.0, policy=NO_DETECTION,
+                        fault_scale=SCALE))
+                    run = run_experiment(ExperimentConfig(
+                        app="md5", packet_count=PACKETS, seed=seed,
+                        cycle_time=0.25, policy=policy, fault_scale=SCALE))
+                    fallibility.append(run.fallibility)
+                    energy.append(run.energy["total"]
+                                  / base.energy["total"])
+                    product.append(run.product() / base.product())
+                rows.append([policy.name, round(_mean(fallibility), 3),
+                             round(_mean(energy), 3),
+                             round(_mean(product), 3)])
+            return rows
+
+        rows = once(measure)
+        emit("ext_protection_schemes", render_table(
+            "Extension: protection schemes at Cr=0.25 (md5, vs Cr=1 "
+            "no-detection)",
+            ["scheme", "fallibility", "rel energy", "rel EDF^2"], rows))
+        by_name = {row[0]: row for row in rows}
+        # SEC-DED corrects single-bit faults: lowest fallibility of all.
+        assert (by_name["secded"][1]
+                <= min(by_name["two-strike"][1],
+                       by_name["no-detection"][1]) + 1e-9)
+        # ...but it draws the most energy (the paper's dismissal).
+        assert by_name["secded"][2] >= by_name["two-strike"][2]
+        assert by_name["two-strike"][2] >= by_name["no-detection"][2]
+
+    def test_clumsy_vs_dvs(self, once, emit):
+        def measure():
+            rows = []
+            for frequency in (1.0, 4 / 3, 2.0, 4.0):
+                clumsy, dvs = compare_techniques(frequency)
+                rows.append([f"{frequency:.2f}x",
+                             round(clumsy.relative_access_energy, 3),
+                             round(clumsy.fault_multiplier, 1),
+                             round(dvs.relative_access_energy, 3),
+                             clumsy.transition_cycles,
+                             dvs.transition_cycles])
+            return rows
+
+        rows = once(measure)
+        emit("ext_clumsy_vs_dvs", render_table(
+            "Extension: clumsy over-clocking vs DVS at equal cache speed",
+            ["speed", "clumsy energy", "clumsy fault x", "dvs energy",
+             "clumsy switch cyc", "dvs switch cyc"], rows))
+        # At 2x: clumsy saves energy, DVS pays >50% more.
+        double = rows[2]
+        assert double[1] < 1.0 < double[3]
+
+
+class TestMulticoreScaling:
+    def test_engine_scaling(self, once, emit):
+        def measure():
+            rows = []
+            for cores in (1, 2, 4, 8):
+                result = run_multicore(
+                    "route", core_count=cores, packet_count=PACKETS,
+                    cycle_time=0.5, policy=TWO_STRIKE, fault_scale=SCALE)
+                rows.append([cores,
+                             round(result.delay_per_packet, 1),
+                             round(result.total_energy, 0),
+                             round(result.l2_miss_rate, 4),
+                             round(result.fallibility, 3),
+                             result.wedged_engines])
+            return rows
+
+        rows = once(measure)
+        emit("ext_multicore_scaling", render_table(
+            "Extension: engine scaling with a shared L2 (route, Cr=0.5, "
+            "two-strike)",
+            ["engines", "makespan cyc/pkt", "energy", "L2 miss rate",
+             "fallibility", "wedged"], rows))
+        delays = [row[1] for row in rows]
+        miss_rates = [row[3] for row in rows]
+        # Throughput rises with engines; shared-L2 pressure rises too.
+        assert delays[-1] < delays[0]
+        assert miss_rates[-1] > miss_rates[0]
+
+
+class TestFaultAnatomy:
+    def test_route_fault_attribution(self, once, emit):
+        def measure():
+            sites = []
+            regions = None
+            errors = 0
+            faults = 0
+            for seed in SEEDS:
+                # Data-plane injection isolates *transient* conversion: a
+                # control-plane write fault permanently corrupts a table in
+                # the L2 (the paper's "nonvolatile error") and every later
+                # packet through it errs, inflating the ratio.
+                run = run_experiment(ExperimentConfig(
+                    app="route", packet_count=PACKETS, seed=seed,
+                    cycle_time=0.25, fault_scale=SCALE, planes="data"))
+                sites.extend(run.fault_sites)
+                regions = run.regions
+                errors += run.erroneous_packets
+                faults += run.injected_faults
+            return sites, regions, errors, faults
+
+        sites, regions, errors, faults = once(measure)
+        rows, unattributed = attribute_faults(sites, regions)
+        emit("ext_fault_anatomy", render_vulnerability(
+            "Extension: fault anatomy (route, Cr=0.25, 3 seeds)",
+            rows, unattributed, errors, faults))
+        assert faults > 0
+        attributed = sum(row.total_faults for row in rows)
+        assert attributed + unattributed == len(sites)
+        # Section 5.2's observation: only a minority of faults become
+        # application errors (route is table-driven, not diffusing).
+        assert errors < faults
+
+    def test_errors_per_fault_across_apps(self, once, emit):
+        def measure():
+            rows = []
+            for app in ("crc", "tl", "route", "drr", "nat", "url"):
+                errors = 0
+                faults = 0
+                for seed in SEEDS:
+                    run = run_experiment(ExperimentConfig(
+                        app=app, packet_count=PACKETS, seed=seed,
+                        cycle_time=0.25, fault_scale=SCALE,
+                        planes="data"))
+                    errors += run.erroneous_packets
+                    faults += run.injected_faults
+                rows.append([app, faults, errors,
+                             round(errors / faults, 3) if faults else 0.0])
+            return rows
+
+        rows = once(measure)
+        emit("ext_errors_per_fault", render_table(
+            "Extension: application errors per injected (data-plane) fault "
+            "at Cr=0.25 (paper Section 5.2 reports ~15% on average)",
+            ["app", "faults", "erroneous packets", "errors/fault"], rows))
+        ratios = [row[3] for row in rows if row[1] > 10]
+        assert ratios
+        # The across-app average sits in a sane band around 15%.
+        assert 0.03 < _mean(ratios) < 0.9
+
+
+class TestAnalyticOptimum:
+    """Hybrid analytic model vs full simulation (core.optimum)."""
+
+    def test_predicted_curve_tracks_simulation(self, once, emit):
+        from repro.core.optimum import OperatingPointModel
+        from repro.harness.profile import profile_workload
+
+        def measure():
+            profile = profile_workload("route", packet_count=PACKETS)
+            observed = run_experiment(ExperimentConfig(
+                app="route", packet_count=PACKETS, cycle_time=0.25,
+                policy=NO_DETECTION, fault_scale=SCALE))
+            model = OperatingPointModel(
+                profile, policy=NO_DETECTION, fault_scale=SCALE,
+            ).calibrate_conversion(observed.fallibility, 0.25)
+            base_sim = run_experiment(ExperimentConfig(
+                app="route", packet_count=PACKETS, cycle_time=1.0,
+                policy=NO_DETECTION, fault_scale=SCALE))
+            base_pred = model.predict(1.0)
+            rows = []
+            for cycle_time in (1.0, 0.75, 0.5, 0.25):
+                sim = run_experiment(ExperimentConfig(
+                    app="route", packet_count=PACKETS,
+                    cycle_time=cycle_time, policy=NO_DETECTION,
+                    fault_scale=SCALE))
+                predicted = model.predict(cycle_time)
+                rows.append([cycle_time,
+                             round(predicted.product / base_pred.product, 3),
+                             round(sim.product() / base_sim.product(), 3)])
+            best = model.optimum()
+            return rows, best
+
+        rows, best = once(measure)
+        emit("ext_analytic_optimum", render_table(
+            "Extension: analytic operating-point model vs simulation "
+            f"(route, no detection; predicted optimum Cr={best.cycle_time:.2f})",
+            ["Cr", "predicted rel EDF^2", "simulated rel EDF^2"], rows))
+        # The model and the simulator agree on where the curve bends:
+        # improving through 0.5, degrading at 0.25.
+        by_cycle = {row[0]: row for row in rows}
+        for metric_index in (1, 2):
+            assert by_cycle[0.5][metric_index] < by_cycle[1.0][metric_index]
+            assert (by_cycle[0.25][metric_index]
+                    > by_cycle[0.5][metric_index])
+        assert 0.35 <= best.cycle_time <= 0.65
+
+
+class TestDrrFairness:
+    """Scheduler fairness under over-clocking (DRR's own success metric)."""
+
+    def test_fairness_vs_clock(self, once, emit):
+        from repro.apps.app_drr import DrrApp
+        from repro.core.fault_model import FaultModel
+        from repro.cpu.processor import Processor
+        from repro.mem.allocator import BumpAllocator
+        from repro.mem.faults import FaultInjector
+        from repro.mem.hierarchy import MemoryHierarchy
+        from repro.mem.view import MemView
+        from repro.apps.base import Environment
+        from repro.net.trace import flow_trace, make_prefixes
+
+        def run_fairness(cycle_time, scale, seed):
+            processor = Processor()
+            injector = FaultInjector(model=FaultModel.calibrated(),
+                                     seed=seed, scale=scale)
+            hierarchy = MemoryHierarchy(processor, injector,
+                                        policy=NO_DETECTION,
+                                        cycle_time=cycle_time)
+            allocator = BumpAllocator(0x1000, (1 << 22) - 0x1000)
+            env = Environment(processor=processor, hierarchy=hierarchy,
+                              view=MemView(hierarchy), allocator=allocator)
+            prefixes = make_prefixes(8, seed=seed)
+            app = DrrApp(env, prefixes, flow_count=8)
+            packets = flow_trace(PACKETS, flow_count=8, prefixes=prefixes,
+                                 seed=seed, payload_bytes=40)
+            try:
+                app.run_control_plane()
+                env.hierarchy.l1d.flush()
+                for index, packet in enumerate(packets):
+                    app.run_packet(packet, index)
+            except Exception:
+                pass  # a fatal error ends service; score what was served
+            return app.fairness_index()
+
+        def measure():
+            rows = []
+            for cycle_time in (1.0, 0.5, 0.25):
+                indices = [run_fairness(cycle_time, 60.0, seed)
+                           for seed in SEEDS]
+                rows.append([cycle_time,
+                             round(_mean(indices), 4),
+                             round(min(indices), 4)])
+            return rows
+
+        rows = once(measure)
+        emit("ext_drr_fairness", render_table(
+            "Extension: DRR service fairness (Jain index) vs cache clock "
+            "(no detection, fault scale 60)",
+            ["Cr", "mean fairness", "worst seed"], rows))
+        by_cycle = {row[0]: row for row in rows}
+        # Fault-free-ish nominal clock serves fairly; fairness is bounded.
+        assert by_cycle[1.0][1] > 0.5
+        assert all(0.0 < row[2] <= 1.0 for row in rows)
+
+
+class TestSingleFaultAvf:
+    """True AVF: one controlled fault per trial (Mukherjee methodology)."""
+
+    def test_avf_campaign(self, once, emit):
+        from repro.harness.campaign import render_campaign, run_campaign
+
+        def measure():
+            results = {}
+            for app in ("crc", "route", "md5"):
+                results[app] = run_campaign(
+                    ExperimentConfig(app=app, packet_count=150,
+                                     cycle_time=0.5),
+                    trials=60, seed=17)
+            return results
+
+        results = once(measure)
+        for app, campaign in results.items():
+            emit(f"ext_avf_{app}", render_campaign(campaign))
+        # md5 diffuses every consumed bit into the digest: its conversion
+        # tops the table-driven kernels'.
+        assert (results["md5"].error_conversion
+                >= results["route"].error_conversion - 0.05)
+        # Every campaign fired all of its faults and stayed bounded.
+        for campaign in results.values():
+            assert len(campaign.fired_trials) == 60
+            assert 0.0 <= campaign.error_conversion <= 1.0

@@ -1,0 +1,23 @@
+"""Figure 8: fatal error probabilities for different clock rates."""
+
+from repro.harness import figures
+
+PACKETS = 300
+SEEDS = (7, 11, 23, 31, 43)
+
+
+class TestFig8:
+    def test_fig8(self, once, emit):
+        data = once(figures.fig8_fatal_probabilities,
+                    packet_count=PACKETS, seeds=SEEDS)
+        emit("fig8", figures.render_fig8_from(data))
+        # Shape anchors from Section 5.3 / Figure 8:
+        # fatal errors are absent at the nominal clock...
+        assert all(by_cycle[1.0] == 0.0 for by_cycle in data.values())
+        # ...and only "as we exceed 100% increase in the clock rate" do
+        # they appear: the bulk of fatal probability sits at Cr = 0.25.
+        total_quarter = sum(by_cycle[0.25] for by_cycle in data.values())
+        total_threequarter = sum(by_cycle[0.75]
+                                 for by_cycle in data.values())
+        assert total_quarter > 0
+        assert total_quarter >= total_threequarter

@@ -1,0 +1,73 @@
+"""Microbenchmarks: raw simulator throughput (pytest-benchmark timing).
+
+These are the only benches where wall-clock statistics are the artifact:
+they document the cost of simulation itself (accesses per second through
+the full hierarchy, lookups per second through the radix tree) so users
+can budget sweeps.
+"""
+
+from repro.core.recovery import TWO_STRIKE
+from repro.cpu.processor import Processor
+from repro.mem.faults import FaultInjector
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.net.trace import make_prefixes
+
+
+class TestHierarchyThroughput:
+    def test_word_access_throughput(self, benchmark):
+        hierarchy = MemoryHierarchy(Processor(), FaultInjector(scale=0.0),
+                                    policy=TWO_STRIKE, cycle_time=0.5)
+
+        def churn():
+            total = 0
+            for index in range(2000):
+                address = (index * 52) % 8192 & ~3
+                if index % 3 == 0:
+                    hierarchy.write(address, index & 0xFFFFFFFF, 4)
+                else:
+                    total += hierarchy.read(address, 4)
+            return total
+
+        benchmark(churn)
+
+    def test_faulty_access_throughput(self, benchmark):
+        # Fault drawing adds one RNG call per access; measure the cost.
+        hierarchy = MemoryHierarchy(Processor(),
+                                    FaultInjector(seed=1, scale=20.0),
+                                    policy=TWO_STRIKE, cycle_time=0.25)
+
+        def churn():
+            total = 0
+            for index in range(2000):
+                address = (index * 52) % 8192 & ~3
+                if index % 3 == 0:
+                    hierarchy.write(address, index & 0xFFFFFFFF, 4)
+                else:
+                    total += hierarchy.read(address, 4)
+            return total
+
+        benchmark(churn)
+
+
+class TestRadixThroughput:
+    def test_lookup_throughput(self, benchmark):
+        from repro.apps.base import Environment
+        from repro.apps.radix import RadixTree
+        from repro.mem.allocator import BumpAllocator
+        from repro.mem.view import MemView
+
+        hierarchy = MemoryHierarchy(Processor(), FaultInjector(scale=0.0))
+        env = Environment(processor=hierarchy.processor,
+                          hierarchy=hierarchy, view=MemView(hierarchy),
+                          allocator=BumpAllocator(0x1000, (1 << 22) - 0x1000))
+        prefixes = make_prefixes(64, seed=3)
+        tree = RadixTree(env, max_nodes=4096, max_entries=len(prefixes))
+        tree.build(prefixes)
+        destinations = [(0x9E3779B9 * index) & 0xFFFFFFFF
+                        for index in range(500)]
+
+        def lookups():
+            return sum(tree.lookup(destination).next_hop
+                       for destination in destinations)
+
+        benchmark(lookups)

@@ -1,0 +1,35 @@
+"""Table I: application properties and fallibility factors."""
+
+from repro.core.constants import NETBENCH_APPS, TABLE1_FALLIBILITY
+from repro.harness.tables import render_table1, table1
+
+PACKETS = 300
+SEEDS = (7, 11, 23)
+
+
+class TestTable1:
+    def test_table1(self, once, emit):
+        rows = once(table1, packet_count=PACKETS, seeds=SEEDS)
+        emit("table1", render_table1(rows))
+        by_app = {row.app: row for row in rows}
+        assert set(by_app) == set(NETBENCH_APPS)
+
+        # Shape anchors from the paper's Table I:
+        # 1. fallibility grows from Cr = 0.5 to Cr = 0.25 for every app;
+        for row in rows:
+            assert row.fallibility_quarter >= row.fallibility_half >= 1.0
+
+        # 2. md5 is the most fallible application at Cr = 0.25;
+        worst = max(rows, key=lambda row: row.fallibility_quarter)
+        assert worst.app == "md5"
+
+        # 3. the streaming kernels (crc, md5) have the lowest miss rates,
+        #    the table-walking kernels sit mid-range (Table I ordering);
+        assert by_app["crc"].miss_rate_percent < by_app["tl"].miss_rate_percent
+        assert by_app["md5"].miss_rate_percent < by_app["tl"].miss_rate_percent
+
+        # 4. every fallibility lands within a loose band of the paper's
+        #    value (absolute rates depend on the documented fault scale).
+        for row in rows:
+            paper_quarter = TABLE1_FALLIBILITY[row.app][0.25]
+            assert row.fallibility_quarter < 1.0 + (paper_quarter - 1.0) * 12

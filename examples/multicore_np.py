@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Scaling a clumsy network processor: many engines, one shared L2.
+
+Network processors ship tens of packet engines; the paper's architecture
+(Section 4) gives each a private L1 data cache over a shared L2.  This
+example over-clocks every engine's L1D to the paper's sweet spot
+(Cr = 0.5, two-strike) and sweeps the engine count, showing:
+
+* throughput scaling (makespan cycles per packet falls sub-linearly --
+  the shared L2 sees capacity contention from N private working sets);
+* the resilience argument at system level: a fatal error wedges one
+  engine while the rest keep forwarding.
+"""
+
+from repro.core.recovery import TWO_STRIKE
+from repro.system.multicore import run_multicore
+
+APP = "route"
+PACKETS = 400
+FAULT_SCALE = 20.0
+
+
+def main() -> None:
+    print(f"Multi-engine clumsy NP: {APP!r}, {PACKETS} packets, "
+          f"Cr=0.5, two-strike\n")
+    header = (f"{'engines':>7s} {'cyc/pkt':>9s} {'speedup':>8s} "
+              f"{'energy':>10s} {'L2 miss':>8s} {'fallib.':>8s} "
+              f"{'wedged':>7s}")
+    print(header)
+    print("-" * len(header))
+    single_delay = None
+    for engines in (1, 2, 4, 8, 16):
+        result = run_multicore(
+            APP, core_count=engines, packet_count=PACKETS,
+            cycle_time=0.5, policy=TWO_STRIKE, fault_scale=FAULT_SCALE)
+        if single_delay is None:
+            single_delay = result.delay_per_packet
+        print(f"{engines:7d} {result.delay_per_packet:9.1f} "
+              f"{single_delay / result.delay_per_packet:7.2f}x "
+              f"{result.total_energy:10.0f} {result.l2_miss_rate:8.3f} "
+              f"{result.fallibility:8.3f} "
+              f"{result.wedged_engines:4d}/{engines}")
+    print("\nSub-linear speedup comes from two modelled effects: per-engine"
+          "\ncontrol-plane setup amortised over fewer packets, and the"
+          "\nshared L2's rising miss rate as N private working sets"
+          "\ncompete for its capacity.")
+
+
+if __name__ == "__main__":
+    main()

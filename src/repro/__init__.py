@@ -1,0 +1,72 @@
+"""Reproduction of *A Case for Clumsy Packet Processors* (MICRO-37, 2004).
+
+A clumsy packet processor deliberately over-clocks its L1 data cache,
+trading a higher hardware fault probability for lower access latency and
+energy -- exploiting the fault tolerance that networking software already
+provides.  This package implements the paper's fault-physics model, the
+simulated processor and memory hierarchy, seven NetBench application
+kernels, the detection/recovery and dynamic frequency-adaptation schemes,
+and a harness that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment, TWO_STRIKE
+
+    result = run_experiment(ExperimentConfig(
+        app="route", cycle_time=0.5, policy=TWO_STRIKE))
+    print(result.fallibility, result.product())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    ALL_POLICIES,
+    DynamicFrequencyController,
+    EnergyAccount,
+    EnergyModel,
+    FaultModel,
+    FrequencyLadder,
+    MetricExponents,
+    NO_DETECTION,
+    NoiseImmunityModel,
+    ONE_STRIKE,
+    PAPER_EXPONENTS,
+    RecoveryPolicy,
+    THREE_STRIKE,
+    TWO_STRIKE,
+    VoltageSwingModel,
+    default_fault_model,
+    energy_delay_fallibility,
+    fallibility_factor,
+    policy_by_name,
+)
+from repro.harness import ExperimentConfig, ExperimentResult, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICIES",
+    "DynamicFrequencyController",
+    "EnergyAccount",
+    "EnergyModel",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FaultModel",
+    "FrequencyLadder",
+    "MetricExponents",
+    "NO_DETECTION",
+    "NoiseImmunityModel",
+    "ONE_STRIKE",
+    "PAPER_EXPONENTS",
+    "RecoveryPolicy",
+    "THREE_STRIKE",
+    "TWO_STRIKE",
+    "VoltageSwingModel",
+    "__version__",
+    "default_fault_model",
+    "energy_delay_fallibility",
+    "fallibility_factor",
+    "policy_by_name",
+    "run_experiment",
+]

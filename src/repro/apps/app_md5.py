@@ -1,0 +1,50 @@
+"""The md5 application: per-packet message digests (paper Section 2).
+
+"MD5 creates a signature for each outgoing packet, which is checked at the
+destination...  The errors in MD5 are binary errors" -- a digest either
+matches the golden digest or it does not.  Because every input bit diffuses
+through the whole digest, md5 converts almost any fault it reads into an
+observable error, which is why it shows the largest fallibility factor in
+Table I.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Environment, NetBenchApp, copy_packet_to_memory
+from repro.apps.md5 import Md5Kernel
+from repro.net.packet import Packet
+
+DEFAULT_BUFFER_BYTES = 1600
+
+#: Rotating RX-buffer ring (see app_crc): streaming reuse distance.
+DEFAULT_BUFFER_COUNT = 8
+
+
+class Md5App(NetBenchApp):
+    """MD5 signature generation per packet."""
+
+    name = "md5"
+    categories = ("digest",)
+
+    def __init__(self, env: Environment,
+                 buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+                 buffer_count: int = DEFAULT_BUFFER_COUNT) -> None:
+        super().__init__(env)
+        if buffer_count < 1:
+            raise ValueError("need at least one RX buffer")
+        self.buffers = [env.allocator.alloc(f"md5_packet_buffer_{i}",
+                                            buffer_bytes)
+                        for i in range(buffer_count)]
+        self.kernel = Md5Kernel(env)
+
+    def control_plane(self) -> None:
+        """Build this kernel's static tables in simulated memory."""
+        table = self.kernel.initialize()
+        self.register_static_region(table)
+
+    def process_packet(self, packet: Packet, index: int) -> "dict[str, object]":
+        """Process one packet; returns this kernel's observations."""
+        buffer = self.buffers[index % len(self.buffers)]
+        length = copy_packet_to_memory(self.env, buffer, packet)
+        digest = self.kernel.digest(buffer.address, length)
+        return {"digest": digest}

@@ -1,0 +1,64 @@
+"""RFC 1071 internet checksum computed over simulated memory.
+
+Unlike :func:`repro.net.ip.internet_checksum` (the host-side reference used
+to synthesise traffic and golden values), this version reads every byte
+through the faulty cache, so an injected fault corrupts the checksum the
+router computes -- one of the error metrics of the route/nat/url
+applications.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Environment
+
+#: Abstract instructions per 16-bit word of checksum work (load-fold-add).
+_INSTRUCTIONS_PER_WORD = 4
+
+
+def checksum_region(env: Environment, address: int, length: int) -> int:
+    """One's-complement checksum of ``length`` bytes at ``address``.
+
+    Bytes are summed as big-endian 16-bit words (network order), matching
+    the host-side reference; an odd trailing byte is zero-padded.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    view = env.view
+    total = 0
+    offset = 0
+    while offset + 1 < length:
+        high = view.read_u8(address + offset)
+        low = view.read_u8(address + offset + 1)
+        total += (high << 8) | low
+        env.work(_INSTRUCTIONS_PER_WORD)
+        offset += 2
+    if offset < length:
+        total += view.read_u8(address + offset) << 8
+        env.work(_INSTRUCTIONS_PER_WORD)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+        env.work(2)
+    return (~total) & 0xFFFF
+
+
+def update_ttl_and_checksum(env: Environment, header_address: int) -> "tuple[int, int]":
+    """Decrement the TTL byte and recompute the header checksum in place.
+
+    Implements the RFC 1812 forwarding step of the route application:
+    returns ``(new_ttl, new_checksum)`` as the router would emit them.
+    The checksum field is zeroed, the sum recomputed over the 20-byte
+    header, and the result stored back -- all through the cache.
+    """
+    view = env.view
+    ttl = view.read_u8(header_address + 8)
+    new_ttl = (ttl - 1) & 0xFF
+    view.write_u8(header_address + 8, new_ttl)
+    env.work(3)
+    # Zero the checksum field (bytes 10-11), recompute, store.
+    view.write_u8(header_address + 10, 0)
+    view.write_u8(header_address + 11, 0)
+    checksum = checksum_region(env, header_address, 20)
+    view.write_u8(header_address + 10, checksum >> 8)
+    view.write_u8(header_address + 11, checksum & 0xFF)
+    env.work(4)
+    return new_ttl, checksum

@@ -1,0 +1,65 @@
+"""Table-driven CRC-32 over simulated memory (the crc application's kernel).
+
+Implements the reflected CRC-32 (polynomial 0xEDB88320) used by the public-
+domain checksum code NetBench ships -- identical to ``binascii.crc32``,
+which the tests use as an oracle.  The 256-entry lookup table lives in
+simulated memory: the paper notes that "errors in the crc table are more
+serious, because they can potentially affect multiple packets".
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Environment
+from repro.mem.allocator import Region
+
+CRC32_POLYNOMIAL = 0xEDB88320
+CRC_TABLE_ENTRIES = 256
+CRC_TABLE_BYTES = CRC_TABLE_ENTRIES * 4
+
+#: Abstract instructions to derive one table entry (8 shift/xor rounds).
+_INSTRUCTIONS_PER_TABLE_ENTRY = 20
+#: Abstract instructions per payload byte in the inner loop.
+_INSTRUCTIONS_PER_BYTE = 4
+
+
+def crc_table_values() -> "list[int]":
+    """The 256 reflected CRC-32 table entries (host-side, for tests)."""
+    table = []
+    for index in range(CRC_TABLE_ENTRIES):
+        value = index
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ CRC32_POLYNOMIAL
+            else:
+                value >>= 1
+        table.append(value)
+    return table
+
+
+def build_crc_table(env: Environment, label: str = "crc_table") -> Region:
+    """Control plane: compute the table and store it in simulated memory."""
+    region = env.allocator.alloc(label, CRC_TABLE_BYTES, align=4)
+    for index, value in enumerate(crc_table_values()):
+        env.work(_INSTRUCTIONS_PER_TABLE_ENTRY)
+        env.view.write_u32(region.address + 4 * index, value)
+    return region
+
+
+def crc32_region(env: Environment, table: Region, address: int,
+                 length: int) -> int:
+    """CRC-32 of ``length`` bytes at ``address``, via the in-memory table.
+
+    Both the data bytes and the table entries are read through the faulty
+    cache, so either can be corrupted.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    view = env.view
+    crc = 0xFFFFFFFF
+    for offset in range(length):
+        byte = view.read_u8(address + offset)
+        index = (crc ^ byte) & 0xFF
+        entry = view.read_u32(table.address + 4 * index)
+        crc = (crc >> 8) ^ entry
+        env.work(_INSTRUCTIONS_PER_BYTE)
+    return crc ^ 0xFFFFFFFF

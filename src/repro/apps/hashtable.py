@@ -1,0 +1,124 @@
+"""Open-addressing hash table in simulated memory (the NAT table substrate).
+
+NAT keeps a translation table mapping private source addresses to public
+addresses and egress interfaces.  We implement linear-probe open addressing
+with 16-byte entries ``[key, value, interface, flags]``; ``flags != 0``
+marks an occupied slot.  Capacity is a power of two; the hash is the
+Knuth multiplicative hash of the key.
+
+Lookups read keys and payloads through the faulty cache: a corrupted key
+sends the probe onwards (longer walks, possibly a miss), a corrupted value
+or interface is a silent translation error, and a corrupted flags word can
+make the probe walk the whole table (bounded by a watchdog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import Environment
+from repro.apps.radix import fnv_step, _FNV_OFFSET
+from repro.cpu.watchdog import Watchdog
+from repro.mem.allocator import Region
+
+ENTRY_BYTES = 16
+_KNUTH = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class NatLookupResult:
+    """One translation lookup as the application observes it."""
+
+    found: bool
+    value: int          #: translated (public) address, 0 on miss
+    interface: int      #: egress interface identifier, 0 on miss
+    probe_digest: int   #: FNV digest of every word the probe read
+    probes: int         #: slots examined
+
+
+class HashTable:
+    """Linear-probe hash table with all state in simulated memory."""
+
+    def __init__(self, env: Environment, capacity: int,
+                 label: str = "nat_table") -> None:
+        if capacity < 2 or capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two >= 2: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.region = env.allocator.alloc(label, capacity * ENTRY_BYTES)
+        self._occupied = 0
+
+    def _slot_address(self, slot: int) -> int:
+        return self.region.address + (slot % self.capacity) * ENTRY_BYTES
+
+    def _hash(self, key: int) -> int:
+        return ((key * _KNUTH) & _MASK) >> (32 - self.capacity.bit_length() + 1)
+
+    # -- construction (control plane) ---------------------------------------------
+
+    def insert(self, key: int, value: int, interface: int) -> None:
+        """Insert or overwrite a mapping (control-plane operation)."""
+        if self._occupied >= self.capacity - 1:
+            raise MemoryError("hash table full (load factor limit)")
+        view = self.env.view
+        slot = self._hash(key)
+        for _ in range(self.capacity):
+            address = self._slot_address(slot)
+            flags = view.read_u32(address + 12)
+            self.env.work(6)
+            if flags == 0:
+                view.write_u32(address, key)
+                view.write_u32(address + 4, value)
+                view.write_u32(address + 8, interface)
+                view.write_u32(address + 12, 1)
+                self._occupied += 1
+                return
+            if view.read_u32(address) == key:
+                view.write_u32(address + 4, value)
+                view.write_u32(address + 8, interface)
+                return
+            slot += 1
+        raise AssertionError("unreachable: probe wrapped a non-full table")
+
+    # -- lookup (data plane) -------------------------------------------------------
+
+    def lookup(self, key: int) -> NatLookupResult:
+        """Probe for a key, reading every word through the cache."""
+        view = self.env.view
+        watchdog = Watchdog(self.capacity * 2, "hash-table probe")
+        digest = _FNV_OFFSET
+        slot = self._hash(key)
+        probes = 0
+        for _ in range(self.capacity):
+            watchdog.tick()
+            address = self._slot_address(slot)
+            flags = view.read_u32(address + 12)
+            probes += 1
+            digest = fnv_step(digest, flags)
+            self.env.work(6)
+            if flags == 0:
+                return NatLookupResult(found=False, value=0, interface=0,
+                                       probe_digest=digest, probes=probes)
+            stored_key = view.read_u32(address)
+            digest = fnv_step(digest, stored_key)
+            if stored_key == key:
+                value = view.read_u32(address + 4)
+                interface = view.read_u32(address + 8)
+                digest = fnv_step(fnv_step(digest, value), interface)
+                self.env.work(4)
+                return NatLookupResult(found=True, value=value,
+                                       interface=interface,
+                                       probe_digest=digest, probes=probes)
+            slot += 1
+        return NatLookupResult(found=False, value=0, interface=0,
+                               probe_digest=digest, probes=probes)
+
+    @property
+    def occupied(self) -> int:
+        """Number of occupied slots."""
+        return self._occupied
+
+    def static_region(self) -> Region:
+        """The table's memory region (for initialization sampling)."""
+        return self.region

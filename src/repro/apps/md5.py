@@ -1,0 +1,146 @@
+"""From-scratch MD5 over simulated memory (the md5 application's kernel).
+
+Implements RFC 1321 exactly (``hashlib.md5`` is the test oracle), but keeps
+the fault-exposed state in simulated memory:
+
+* the 64-entry sine-derived T table (static, built by the control plane);
+* the running A/B/C/D state words;
+* the 64-byte block buffer used for the padded tail;
+* and the message itself (the packet buffer).
+
+Every one of those is read/written through the faulty L1, so a single bit
+flip anywhere diffuses through the digest -- the paper's "binary error"
+behaviour for md5, and the reason md5 shows the largest fallibility factor
+in Table I.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.base import Environment
+from repro.mem.allocator import Region
+
+_MASK = 0xFFFFFFFF
+
+#: RFC 1321 initial state (A, B, C, D).
+INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+#: Per-round rotation amounts.
+_SHIFTS = (
+    (7, 12, 17, 22), (5, 9, 14, 20), (4, 11, 16, 23), (6, 10, 15, 21),
+)
+
+#: Abstract instructions per MD5 step (two loads, adds, rotate, xor mix).
+_INSTRUCTIONS_PER_STEP = 8
+
+
+def t_table_values() -> "list[int]":
+    """The 64 sine-derived constants of RFC 1321 (host-side, for tests)."""
+    return [int(abs(math.sin(i + 1)) * 4294967296) & _MASK for i in range(64)]
+
+
+def _rotate_left(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _message_index(round_number: int, step: int) -> int:
+    if round_number == 0:
+        return step
+    if round_number == 1:
+        return (1 + 5 * step) % 16
+    if round_number == 2:
+        return (5 + 3 * step) % 16
+    return (7 * step) % 16
+
+
+def _mix(round_number: int, b: int, c: int, d: int) -> int:
+    if round_number == 0:
+        return (b & c) | (~b & d)
+    if round_number == 1:
+        return (b & d) | (c & ~d)
+    if round_number == 2:
+        return b ^ c ^ d
+    return c ^ (b | ~d)
+
+
+class Md5Kernel:
+    """MD5 engine whose data structures live in simulated memory."""
+
+    def __init__(self, env: Environment, label_prefix: str = "md5") -> None:
+        self.env = env
+        self.t_table = env.allocator.alloc(f"{label_prefix}_t_table", 64 * 4)
+        self.state = env.allocator.alloc(f"{label_prefix}_state", 4 * 4)
+        self.block = env.allocator.alloc(f"{label_prefix}_block", 64)
+
+    def initialize(self) -> Region:
+        """Control plane: compute and store the T table; returns its region."""
+        for index, value in enumerate(t_table_values()):
+            self.env.work(12)  # sine evaluation + scale + store
+            self.env.view.write_u32(self.t_table.address + 4 * index, value)
+        return self.t_table
+
+    # -- internals ------------------------------------------------------------
+
+    def _process_block(self, block_address: int) -> None:
+        view = self.env.view
+        state = [view.read_u32(self.state.address + 4 * i) for i in range(4)]
+        a, b, c, d = state
+        for round_number in range(4):
+            shifts = _SHIFTS[round_number]
+            for step in range(16):
+                i = round_number * 16 + step
+                k = _message_index(round_number, step)
+                x = view.read_u32(block_address + 4 * k)
+                t = view.read_u32(self.t_table.address + 4 * i)
+                f = _mix(round_number, b, c, d)
+                a = (a + f + x + t) & _MASK
+                a = b + _rotate_left(a, shifts[step % 4])
+                a &= _MASK
+                a, b, c, d = d, a, b, c
+                self.env.work(_INSTRUCTIONS_PER_STEP)
+        # 64 steps rotate the register file 64 times -- a multiple of four --
+        # so (a, b, c, d) are already back in canonical positions here.
+        for index, (old, new) in enumerate(zip(state, (a, b, c, d))):
+            view.write_u32(self.state.address + 4 * index, (old + new) & _MASK)
+            self.env.work(2)
+
+    def digest(self, address: int, length: int) -> bytes:
+        """MD5 of ``length`` message bytes at ``address`` (16-byte digest).
+
+        Full 64-byte blocks are consumed in place; the padded tail goes
+        through the kernel's block buffer.  ``address`` must be 4-byte
+        aligned (packet buffers are).
+        """
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        view = self.env.view
+        for index, value in enumerate(INITIAL_STATE):
+            view.write_u32(self.state.address + 4 * index, value)
+        full_blocks = length // 64
+        for block_number in range(full_blocks):
+            self._process_block(address + 64 * block_number)
+        # Build the padded tail in the block buffer.
+        remainder = length - 64 * full_blocks
+        for offset in range(remainder):
+            byte = view.read_u8(address + 64 * full_blocks + offset)
+            view.write_u8(self.block.address + offset, byte)
+            self.env.work(2)
+        view.write_u8(self.block.address + remainder, 0x80)
+        tail_zeros_end = 64 if remainder + 9 > 64 else 56
+        for offset in range(remainder + 1, tail_zeros_end):
+            view.write_u8(self.block.address + offset, 0)
+        if remainder + 9 > 64:
+            self._process_block(self.block.address)
+            for offset in range(56):
+                view.write_u8(self.block.address + offset, 0)
+        bit_length = (length * 8) & 0xFFFFFFFFFFFFFFFF
+        view.write_u32(self.block.address + 56, bit_length & _MASK)
+        view.write_u32(self.block.address + 60, (bit_length >> 32) & _MASK)
+        self._process_block(self.block.address)
+        out = bytearray()
+        for index in range(4):
+            word = view.read_u32(self.state.address + 4 * index)
+            out += word.to_bytes(4, "little")
+        return bytes(out)

@@ -1,0 +1,124 @@
+"""Dynamic voltage scaling, for comparison with clumsy over-clocking.
+
+Section 4 argues that "dynamically varying the clock frequency of the
+cache is easier to implement than varying the supply voltage" -- the cache
+keeps serving during a clock change (10-cycle penalty) whereas a supply
+change needs the rail to settle.  This module makes the comparison
+quantitative with the standard alpha-power-law CMOS model:
+
+* gate delay  ``t_d ∝ V / (V - Vt)^alpha``  →  relative frequency
+  ``Fr(V) = [ (V-Vt)^alpha / V ] / [ (1-Vt)^alpha / 1 ]``;
+* dynamic energy per access  ``E ∝ V^2``.
+
+Under DVS, running the cache *faster* requires a *higher* supply, so the
+energy cost grows quadratically -- the opposite direction from clumsy
+over-clocking, which gains speed *and* energy (linearly with the shrinking
+swing) and pays in reliability instead.  The protection-scheme bench uses
+this module to put both options on one axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rail-settling cost of a DVS transition, in core cycles.  Converter
+#: slew plus PLL relock is microseconds against the paper's 10-cycle
+#: clock-dither penalty; 10k cycles at a ~200 MHz StrongARM-class clock
+#: is a conservative 50 us.
+DVS_TRANSITION_CYCLES = 10_000
+
+
+@dataclass(frozen=True)
+class VoltageScalingModel:
+    """Alpha-power-law delay/energy model, normalised at ``V = 1``."""
+
+    threshold_voltage: float = 0.35
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold_voltage < 1.0:
+            raise ValueError("threshold voltage must be in (0, 1)")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def relative_frequency(self, voltage: float) -> float:
+        """Achievable clock frequency at supply ``voltage`` (1 at V = 1)."""
+        if voltage <= self.threshold_voltage:
+            return 0.0
+        drive = (voltage - self.threshold_voltage) ** self.alpha / voltage
+        nominal = (1.0 - self.threshold_voltage) ** self.alpha
+        return drive / nominal
+
+    def relative_energy(self, voltage: float) -> float:
+        """Dynamic energy per access at supply ``voltage`` (1 at V = 1)."""
+        if voltage < 0:
+            raise ValueError("voltage must be non-negative")
+        return voltage * voltage
+
+    def voltage_for_frequency(self, relative_frequency: float) -> float:
+        """Supply needed for a target frequency (bisection; Fr > 0)."""
+        if relative_frequency <= 0:
+            raise ValueError("target frequency must be positive")
+        low = self.threshold_voltage + 1e-9
+        high = 1.0
+        while self.relative_frequency(high) < relative_frequency:
+            high *= 2.0
+            if high > 100.0:
+                raise ValueError(
+                    f"frequency {relative_frequency} is unreachable")
+        for _ in range(200):
+            mid = (low + high) / 2.0
+            if self.relative_frequency(mid) < relative_frequency:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0
+
+    def energy_at_frequency(self, relative_frequency: float) -> float:
+        """Per-access energy of hitting a target frequency via DVS."""
+        return self.relative_energy(
+            self.voltage_for_frequency(relative_frequency))
+
+
+@dataclass(frozen=True)
+class SpeedEnergyPoint:
+    """One (frequency, energy, reliability) operating point."""
+
+    technique: str
+    relative_frequency: float
+    relative_access_energy: float
+    fault_multiplier: float
+    transition_cycles: int
+
+
+def compare_techniques(relative_frequency: float,
+                       dvs: "VoltageScalingModel | None" = None,
+                       ) -> "tuple[SpeedEnergyPoint, SpeedEnergyPoint]":
+    """Clumsy over-clocking vs DVS at the same cache frequency.
+
+    Returns ``(clumsy, dvs)`` points.  Clumsy over-clocking holds the
+    supply and lets the swing collapse: energy *falls* with speed but the
+    fault rate climbs (the fault model).  DVS raises the rail: fault-free,
+    but energy climbs quadratically and every transition stalls the rail.
+    """
+    from repro.core.fault_model import default_fault_model
+    from repro.core import constants
+
+    if relative_frequency <= 0:
+        raise ValueError("relative frequency must be positive")
+    dvs = dvs or VoltageScalingModel()
+    model = default_fault_model()
+    cycle_time = 1.0 / relative_frequency
+    clumsy = SpeedEnergyPoint(
+        technique="clumsy",
+        relative_frequency=relative_frequency,
+        relative_access_energy=model.voltage.swing(cycle_time),
+        fault_multiplier=model.fault_multiplier(cycle_time),
+        transition_cycles=constants.FREQUENCY_CHANGE_PENALTY_CYCLES)
+    scaled = SpeedEnergyPoint(
+        technique="dvs",
+        relative_frequency=relative_frequency,
+        relative_access_energy=dvs.energy_at_frequency(relative_frequency),
+        fault_multiplier=1.0,
+        transition_cycles=DVS_TRANSITION_CYCLES)
+    return clumsy, scaled

@@ -1,0 +1,74 @@
+"""Discrete cache clock settings and level stepping (paper Section 4).
+
+The hardware supports increasing the data-cache clock frequency by 50%,
+100%, or 300% over the designer's specification, i.e. relative cycle times
+``Cr`` of 0.75, 0.5 and 0.25 in addition to the nominal 1.0.  The dynamic
+adaptation scheme moves between *adjacent* levels only ("when the frequency
+is changed, it will be set to the next frequency level available").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import constants
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """An ordered set of relative cycle times, fastest clock last.
+
+    ``levels`` is stored slowest-clock-first (largest ``Cr`` first), matching
+    the paper's presentation (1, 0.75, 0.5, 0.25).
+    """
+
+    levels: "tuple[float, ...]" = constants.RELATIVE_CYCLE_LEVELS
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError("a frequency ladder needs at least two levels")
+        if any(cr <= 0 for cr in self.levels):
+            raise ValueError("relative cycle times must be positive")
+        if list(self.levels) != sorted(self.levels, reverse=True):
+            raise ValueError("levels must be strictly decreasing in Cr")
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError("levels must be distinct")
+
+    def index_of(self, relative_cycle_time: float) -> int:
+        """Ladder index of an exact level; raises ``ValueError`` if absent."""
+        try:
+            return self.levels.index(relative_cycle_time)
+        except ValueError:
+            raise ValueError(
+                f"{relative_cycle_time} is not a ladder level {self.levels}"
+            ) from None
+
+    def faster(self, relative_cycle_time: float) -> float:
+        """Next higher clock frequency (smaller ``Cr``); clamps at the top."""
+        index = self.index_of(relative_cycle_time)
+        return self.levels[min(index + 1, len(self.levels) - 1)]
+
+    def slower(self, relative_cycle_time: float) -> float:
+        """Next lower clock frequency (larger ``Cr``); clamps at nominal."""
+        index = self.index_of(relative_cycle_time)
+        return self.levels[max(index - 1, 0)]
+
+    def is_fastest(self, relative_cycle_time: float) -> bool:
+        """Whether ``Cr`` is the ladder's fastest (smallest) level."""
+        return self.index_of(relative_cycle_time) == len(self.levels) - 1
+
+    def is_slowest(self, relative_cycle_time: float) -> bool:
+        """Whether ``Cr`` is the nominal (largest) level."""
+        return self.index_of(relative_cycle_time) == 0
+
+
+def relative_frequency(relative_cycle_time: float) -> float:
+    """``Fr = f / ffs = 1 / Cr`` (paper Section 3)."""
+    if relative_cycle_time <= 0:
+        raise ValueError("relative cycle time must be positive")
+    return 1.0 / relative_cycle_time
+
+
+def frequency_boost_percent(relative_cycle_time: float) -> float:
+    """Frequency increase over nominal, in percent (50/100/300 for the paper's levels)."""
+    return (relative_frequency(relative_cycle_time) - 1.0) * 100.0

@@ -1,0 +1,93 @@
+"""Comparison metrics for clumsy processors (paper Section 4.1).
+
+Because a clumsy processor is *allowed* to make errors, the traditional
+delay / energy / energy-delay metrics are insufficient.  The paper defines
+the **energy-delay-fallibility product**, generalised to
+``energy**k * delay**m * fallibility**n`` with ``(k, m, n) = (1, 2, 2)``
+throughout the evaluation.
+
+* *Delay* is the average number of cycles per processed packet (the total
+  cycle count is unusable because runs hit by a fatal error do not finish).
+* *Fallibility* is ``1 +`` the fraction of processed packets with at least
+  one application-level error, computed over the packets processed before
+  the first fatal error (Table I reports factors such as 1.007).
+* *Fatal errors* (infinite loops, crashes) terminate processing and are
+  reported separately as a probability per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constants
+
+
+@dataclass(frozen=True)
+class MetricExponents:
+    """The (k, m, n) weights of energy, delay, and fallibility."""
+
+    energy: int = constants.METRIC_EXPONENTS[0]
+    delay: int = constants.METRIC_EXPONENTS[1]
+    fallibility: int = constants.METRIC_EXPONENTS[2]
+
+    def __post_init__(self) -> None:
+        if min(self.energy, self.delay, self.fallibility) < 0:
+            raise ValueError("metric exponents must be non-negative")
+
+
+#: The paper's energy * delay^2 * fallibility^2 weighting.
+PAPER_EXPONENTS = MetricExponents()
+
+
+def fallibility_factor(erroneous_packets: int, processed_packets: int) -> float:
+    """``1 + erroneous / processed`` over packets finished before any fatal error.
+
+    A fault-free run scores exactly 1.0; a run where every packet is wrong
+    scores 2.0.  ``processed_packets == 0`` (a fatal error on the very first
+    packet) is scored at the 2.0 ceiling: nothing was processed correctly.
+    """
+    if erroneous_packets < 0 or processed_packets < 0:
+        raise ValueError("packet counts must be non-negative")
+    if processed_packets == 0:
+        return 2.0
+    if erroneous_packets > processed_packets:
+        raise ValueError("cannot have more erroneous packets than processed")
+    return 1.0 + erroneous_packets / processed_packets
+
+
+def fatal_error_probability(fatal_errors: int, offered_packets: int) -> float:
+    """Probability that a packet triggers a fatal error (paper Section 5.3)."""
+    if fatal_errors < 0 or offered_packets <= 0:
+        raise ValueError("need non-negative fatals and positive offered packets")
+    if fatal_errors > offered_packets:
+        raise ValueError("cannot have more fatal errors than packets")
+    return fatal_errors / offered_packets
+
+
+def energy_delay_fallibility(
+    energy: float,
+    delay_cycles_per_packet: float,
+    fallibility: float,
+    exponents: MetricExponents = PAPER_EXPONENTS,
+) -> float:
+    """The energy^k * delay^m * fallibility^n product of Section 4.1."""
+    if energy < 0 or delay_cycles_per_packet < 0:
+        raise ValueError("energy and delay must be non-negative")
+    if fallibility < 1.0:
+        raise ValueError("fallibility factor is >= 1 by construction")
+    return (energy ** exponents.energy
+            * delay_cycles_per_packet ** exponents.delay
+            * fallibility ** exponents.fallibility)
+
+
+def relative_to_baseline(value: float, baseline: float) -> float:
+    """Normalise a metric against the baseline configuration's value.
+
+    The paper's Figures 9-12 report every configuration relative to
+    ``Cr = 1`` with no detection.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return value / baseline

@@ -1,0 +1,117 @@
+"""Switching-combination analysis of coupled lines (paper Figure 3, Eq. (1)).
+
+A victim line inside the cache couples capacitively to ``n`` neighbour
+lines.  In any cycle each neighbour either rises, falls, or stays stable at
+one of the two rails, so there are ``4**n = 2**(2n)`` switching combinations
+(the paper's ``2^{2n}``).  A rising neighbour injects ``+1`` unit of noise,
+a falling neighbour ``-1``, and a stable neighbour nothing; the worst-case
+amplitude occurs in the single combination where every neighbour switches
+the same direction.  The relative amplitude of a combination is
+``|sum| / n`` -- normalised so the worst case is 1.
+
+The number of combinations producing each amplitude falls off steeply, and
+the paper observes (Eq. (1)) that the histogram is well approximated by an
+exponential ``K1 * exp(-K2 * A)``; for ``n > 16`` the normalised histogram
+converges to the continuous density of Eq. (2).  This module computes the
+exact histogram with integer combinatorics and performs the exponential fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import constants
+
+
+def switching_combination_counts(lines: int) -> "list[int]":
+    """Exact count of switching combinations for each signed noise sum.
+
+    Returns a list ``counts`` of length ``2 * lines + 1`` where
+    ``counts[s + lines]`` is the number of the ``4**lines`` combinations
+    whose noise contributions sum to ``s``.  Each line contributes ``+1``
+    one way, ``-1`` one way, and ``0`` two ways (stable high or stable low),
+    so the counts are the coefficients of ``(x + 2 + 1/x) ** lines``.
+    """
+    if lines < 1:
+        raise ValueError(f"need at least one coupled line, got {lines}")
+    # Polynomial convolution over the per-line generating function [1, 2, 1]
+    # (offset so index 0 is sum == -lines).
+    counts = [1, 2, 1]
+    for _ in range(lines - 1):
+        nxt = [0] * (len(counts) + 2)
+        for offset, coefficient in enumerate(counts):
+            nxt[offset] += coefficient
+            nxt[offset + 1] += 2 * coefficient
+            nxt[offset + 2] += coefficient
+        counts = nxt
+    return counts
+
+
+def amplitude_histogram(lines: int) -> "list[tuple[float, int]]":
+    """Figure 3: (relative amplitude, number of combinations) pairs.
+
+    Folds the signed-sum counts into absolute amplitudes ``|s| / lines``
+    and returns them sorted by amplitude, starting at amplitude 0.
+    """
+    counts = switching_combination_counts(lines)
+    histogram = []
+    for magnitude in range(lines + 1):
+        total = counts[lines + magnitude]
+        if magnitude > 0:
+            total += counts[lines - magnitude]
+        histogram.append((magnitude / lines, total))
+    return histogram
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Least-squares fit of ``K1 * exp(-K2 * A)`` to a histogram (Eq. (1))."""
+
+    k1: float
+    k2: float
+
+    def evaluate(self, amplitude: float) -> float:
+        """Evaluate the fitted exponential at one amplitude."""
+        return self.k1 * math.exp(-self.k2 * amplitude)
+
+
+def fit_exponential(histogram: "list[tuple[float, int]]") -> ExponentialFit:
+    """Fit Eq. (1) to a Figure-3 histogram by linear regression on logs.
+
+    Only strictly positive counts participate (the exact histogram never
+    contains zeros, but a truncated one might).
+    """
+    points = [(a, c) for a, c in histogram if c > 0]
+    if len(points) < 2:
+        raise ValueError("need at least two positive histogram points to fit")
+    n = len(points)
+    sum_a = sum(a for a, _ in points)
+    sum_log = sum(math.log(c) for _, c in points)
+    sum_aa = sum(a * a for a, _ in points)
+    sum_alog = sum(a * math.log(c) for a, c in points)
+    denominator = n * sum_aa - sum_a * sum_a
+    if denominator == 0:
+        raise ValueError("histogram amplitudes are degenerate")
+    slope = (n * sum_alog - sum_a * sum_log) / denominator
+    intercept = (sum_log - slope * sum_a) / n
+    return ExponentialFit(k1=math.exp(intercept), k2=-slope)
+
+
+def normalized_density(lines: int) -> "list[tuple[float, float]]":
+    """Histogram rescaled to a probability density over amplitude.
+
+    For ``lines > 16`` this converges toward the continuous exponential
+    density of Eq. (2) near the origin (where essentially all probability
+    mass lives); the saturation threshold is
+    ``constants.SWITCHING_SATURATION_LINES``.
+    """
+    histogram = amplitude_histogram(lines)
+    total = float(sum(c for _, c in histogram))
+    bin_width = 1.0 / lines
+    return [(a, c / total / bin_width) for a, c in histogram]
+
+
+def is_saturated(lines: int) -> bool:
+    """Whether the discrete histogram has converged to the Eq. (2) regime."""
+    return lines > constants.SWITCHING_SATURATION_LINES

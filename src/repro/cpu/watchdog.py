@@ -1,0 +1,50 @@
+"""Loop watchdogs and the fatal-error signal (paper Section 2).
+
+When faults corrupt loop bounds, pointers, or tree links, an application
+can "fall into an infinite loop or even cause the system to crash"; the
+paper classifies such outcomes as *fatal errors* and reports them
+separately (Section 5.3).  Each reimplemented kernel wraps its
+data-dependent loops in a :class:`Watchdog` whose limit is far above any
+legitimate iteration count; exceeding the limit raises
+:class:`FatalExecutionError`, which the harness records as a fatal error
+and -- matching the paper's accounting -- stops the run, scoring only the
+packets processed up to that point.
+"""
+
+from __future__ import annotations
+
+
+class FatalExecutionError(Exception):
+    """Execution cannot continue: a runaway loop or a crash-equivalent."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Watchdog:
+    """Counts iterations of one loop and trips at a hard limit."""
+
+    def __init__(self, limit: int, description: str) -> None:
+        if limit <= 0:
+            raise ValueError(f"watchdog limit must be positive, got {limit}")
+        self.limit = limit
+        self.description = description
+        self._count = 0
+
+    def tick(self) -> None:
+        """Record one iteration; raises when the limit is exceeded."""
+        self._count += 1
+        if self._count > self.limit:
+            raise FatalExecutionError(
+                f"runaway loop in {self.description}: exceeded "
+                f"{self.limit} iterations")
+
+    def reset(self) -> None:
+        """Start a fresh count (call at the top of each outer iteration)."""
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Iterations recorded since the last reset."""
+        return self._count

@@ -1,0 +1,58 @@
+"""Experiment harness: configs, runners, and paper-artifact generators."""
+
+from repro.harness.campaign import (
+    CampaignResult,
+    SingleFaultInjector,
+    render_campaign,
+    run_campaign,
+)
+from repro.harness.config import DEFAULT_FAULT_SCALE, PLANES, ExperimentConfig
+from repro.harness.experiment import (
+    ExperimentResult,
+    RunOutcome,
+    build_environment,
+    clear_golden_cache,
+    run_experiment,
+)
+from repro.harness.parallel import run_experiments
+from repro.harness.profile import WorkloadProfile, profile_workload
+from repro.harness.stats import Summary, format_summary, summarize
+from repro.harness.sweep import SweepPoint, sweep
+from repro.harness.vulnerability import (
+    RegionVulnerability,
+    attribute_faults,
+    render_vulnerability,
+)
+from repro.harness.tables import Table1Row, render_table1, table1
+from repro.harness.report import render_series, render_table
+
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_FAULT_SCALE",
+    "SingleFaultInjector",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PLANES",
+    "RegionVulnerability",
+    "RunOutcome",
+    "Summary",
+    "SweepPoint",
+    "Table1Row",
+    "WorkloadProfile",
+    "attribute_faults",
+    "build_environment",
+    "format_summary",
+    "clear_golden_cache",
+    "render_series",
+    "render_campaign",
+    "render_vulnerability",
+    "run_campaign",
+    "summarize",
+    "render_table",
+    "profile_workload",
+    "render_table1",
+    "run_experiment",
+    "run_experiments",
+    "sweep",
+    "table1",
+]

@@ -1,0 +1,182 @@
+"""Command-line entry point: regenerate any paper artifact by id.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig5
+    python -m repro fig9a --packets 300 --seeds 7,11,23
+    python -m repro all
+
+Experiment ids follow DESIGN.md's experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures, tables
+
+
+def _edf_renderer(app: str, figure_name: str):
+    def render(packets: int, seeds: "tuple[int, ...]") -> str:
+        return figures.render_edf(app, figure_name, packet_count=packets,
+                                  seeds=seeds)
+    return render
+
+
+def _experiment_renderers() -> "dict[str, object]":
+    """Experiment id -> callable(packets, seeds) -> str."""
+    return {
+        "table1": lambda packets, seeds: tables.render_table1(
+            tables.table1(packet_count=packets, seeds=seeds)),
+        "fig1b": lambda packets, seeds: figures.render_fig1b(),
+        "fig2b": lambda packets, seeds: figures.render_fig2b(),
+        "fig3": lambda packets, seeds: figures.render_fig3(),
+        "fig4": lambda packets, seeds: figures.render_fig4(),
+        "fig5": lambda packets, seeds: figures.render_fig5(),
+        "fig6": lambda packets, seeds: figures.fig6_route_errors(
+            packet_count=packets, seeds=seeds),
+        "fig7": lambda packets, seeds: figures.fig7_nat_errors(
+            packet_count=packets, seeds=seeds),
+        "fig8": lambda packets, seeds: figures.render_fig8(
+            packet_count=packets, seeds=seeds),
+        "fig9a": _edf_renderer("route", "Figure 9(a)"),
+        "fig9b": _edf_renderer("crc", "Figure 9(b)"),
+        "fig10a": _edf_renderer("md5", "Figure 10(a)"),
+        "fig10b": _edf_renderer("tl", "Figure 10(b)"),
+        "fig11a": _edf_renderer("drr", "Figure 11(a)"),
+        "fig11b": _edf_renderer("nat", "Figure 11(b)"),
+        "fig12a": _edf_renderer("url", "Figure 12(a)"),
+        "fig12b": lambda packets, seeds: figures.render_average_edf(
+            packet_count=packets, seeds=seeds),
+        "ext_optimum": _render_optimum,
+        "ext_dvs": lambda packets, seeds: _render_dvs(),
+        "ext_multicore": _render_multicore,
+        "ext_anatomy": _render_anatomy,
+    }
+
+
+def _render_optimum(packets: int, seeds: "tuple[int, ...]") -> str:
+    """Analytic operating-point prediction per application."""
+    from repro.core.optimum import OperatingPointModel
+    from repro.core.recovery import NO_DETECTION
+    from repro.core.constants import NETBENCH_APPS
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.experiment import run_experiment
+    from repro.harness.profile import profile_workload
+    from repro.harness.report import render_table
+
+    rows = []
+    for app in NETBENCH_APPS:
+        profile = profile_workload(app, packet_count=packets, seed=seeds[0])
+        observed = run_experiment(ExperimentConfig(
+            app=app, packet_count=packets, seed=seeds[0], cycle_time=0.25,
+            policy=NO_DETECTION, fault_scale=20.0))
+        model = OperatingPointModel(
+            profile, policy=NO_DETECTION, fault_scale=20.0,
+        ).calibrate_conversion(observed.fallibility, 0.25)
+        best = model.optimum()
+        baseline = model.predict(1.0)
+        rows.append([app, round(best.cycle_time, 2),
+                     round(best.product / baseline.product, 3),
+                     round(model.error_conversion, 2)])
+    return render_table(
+        "Analytic operating-point prediction (calibrated at Cr=0.25, "
+        "no detection)",
+        ["app", "optimal Cr", "rel EDF^2 at optimum", "errors/fault"],
+        rows)
+
+
+def _render_dvs() -> str:
+    """Clumsy over-clocking vs DVS comparison table."""
+    from repro.core.dvs import compare_techniques
+    from repro.harness.report import render_table
+
+    rows = []
+    for frequency in (1.0, 4 / 3, 2.0, 4.0):
+        clumsy, dvs = compare_techniques(frequency)
+        rows.append([f"{frequency:.2f}x",
+                     round(clumsy.relative_access_energy, 3),
+                     round(clumsy.fault_multiplier, 1),
+                     round(dvs.relative_access_energy, 3)])
+    return render_table(
+        "Clumsy over-clocking vs DVS at equal cache speed",
+        ["speed", "clumsy energy", "clumsy fault x", "dvs energy"], rows)
+
+
+def _render_multicore(packets: int, seeds: "tuple[int, ...]") -> str:
+    """Engine-count scaling table."""
+    from repro.core.recovery import TWO_STRIKE
+    from repro.harness.report import render_table
+    from repro.system.multicore import run_multicore
+
+    rows = []
+    for engines in (1, 2, 4, 8):
+        result = run_multicore(
+            "route", core_count=engines, packet_count=packets,
+            seed=seeds[0], cycle_time=0.5, policy=TWO_STRIKE,
+            fault_scale=20.0)
+        rows.append([engines, round(result.delay_per_packet, 1),
+                     round(result.total_energy),
+                     round(result.l2_miss_rate, 4),
+                     result.wedged_engines])
+    return render_table(
+        "Multi-engine scaling (route, Cr=0.5, two-strike)",
+        ["engines", "makespan cyc/pkt", "energy", "L2 miss rate",
+         "wedged"], rows)
+
+
+def _render_anatomy(packets: int, seeds: "tuple[int, ...]") -> str:
+    """Fault attribution for the route application."""
+    from repro.core.recovery import NO_DETECTION
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.experiment import run_experiment
+    from repro.harness.vulnerability import (
+        attribute_faults,
+        render_vulnerability,
+    )
+
+    sites = []
+    regions = None
+    errors = 0
+    faults = 0
+    for seed in seeds:
+        run = run_experiment(ExperimentConfig(
+            app="route", packet_count=packets, seed=seed, cycle_time=0.25,
+            policy=NO_DETECTION, fault_scale=20.0, planes="data"))
+        sites.extend(run.fault_sites)
+        regions = run.regions
+        errors += run.erroneous_packets
+        faults += run.injected_faults
+    rows, unattributed = attribute_faults(sites, regions)
+    return render_vulnerability(
+        "Fault anatomy (route, Cr=0.25, data plane)",
+        rows, unattributed, errors, faults)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """argparse entry point; returns a process exit code."""
+    renderers = _experiment_renderers()
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of 'A Case for Clumsy Packet "
+                    "Processors' (MICRO-37, 2004)")
+    parser.add_argument("experiment",
+                        choices=sorted(renderers) + ["all"],
+                        help="experiment id from DESIGN.md, or 'all'")
+    parser.add_argument("--packets", type=int, default=300,
+                        help="packets per simulated run (default 300)")
+    parser.add_argument("--seeds", default="7,11,23",
+                        help="comma-separated replica seeds")
+    args = parser.parse_args(argv)
+    seeds = tuple(int(part) for part in args.seeds.split(","))
+    names = sorted(renderers) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(renderers[name](args.packets, seeds))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Experiment configuration (one simulated processor+application run)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
+from repro.core.recovery import NO_DETECTION, RecoveryPolicy
+
+#: Where fault injection is active (paper Figures 6/7 study the planes
+#: separately).
+PLANES = ("control", "data", "both", "none")
+
+#: Default acceleration of the physical fault rate for scaled-down runs;
+#: see DESIGN.md ("Substitutions") and the fault-scale ablation bench.
+DEFAULT_FAULT_SCALE = 10.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that determines one golden-vs-faulty comparison run.
+
+    ``control_cycle_time`` optionally runs the control plane at a
+    different (typically safe) clock than the data plane -- the per-task
+    clocking the paper's Section 5.2 discusses and deems unnecessary;
+    ``None`` uses ``cycle_time`` throughout.  The switch at the plane
+    boundary costs the usual 10-cycle penalty.
+    """
+
+    app: str
+    packet_count: int = 300
+    seed: int = 7
+    cycle_time: float = 1.0
+    control_cycle_time: "float | None" = None
+    policy: RecoveryPolicy = NO_DETECTION
+    dynamic: bool = False
+    fault_scale: float = DEFAULT_FAULT_SCALE
+    planes: str = "both"
+    quarter_cycle_multiplier: float = 100.0
+    memory_size: int = 1 << 22
+    l1_size_bytes: int = 4 * 1024
+    l1_associativity: int = 1
+    burst_start_probability: float = 0.0
+    burst_length: int = 0
+    burst_multiplier: float = 1.0
+    l2_fill_fault_probability: float = 0.0
+    workload_kwargs: "dict[str, object]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.app not in NETBENCH_APPS:
+            raise ValueError(f"unknown application {self.app!r}")
+        if self.packet_count < 1:
+            raise ValueError("packet count must be positive")
+        if self.planes not in PLANES:
+            raise ValueError(f"planes must be one of {PLANES}")
+        if self.fault_scale < 0:
+            raise ValueError("fault scale must be non-negative")
+        if not self.dynamic and self.cycle_time not in RELATIVE_CYCLE_LEVELS:
+            raise ValueError(
+                f"static cycle time must be one of {RELATIVE_CYCLE_LEVELS}")
+        if (self.control_cycle_time is not None
+                and self.control_cycle_time not in RELATIVE_CYCLE_LEVELS):
+            raise ValueError(
+                f"control cycle time must be one of {RELATIVE_CYCLE_LEVELS}")
+        if self.l1_size_bytes < 64 or self.l1_size_bytes & (self.l1_size_bytes - 1):
+            raise ValueError("L1 size must be a power of two >= 64")
+        if self.l1_associativity < 1:
+            raise ValueError("L1 associativity must be positive")
+        if not 0.0 <= self.burst_start_probability <= 1.0:
+            raise ValueError("burst start probability must be in [0, 1]")
+        if self.burst_start_probability > 0 and self.burst_length < 1:
+            raise ValueError("bursts need a positive length")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst multiplier must be >= 1")
+        if not 0.0 <= self.l2_fill_fault_probability <= 1.0:
+            raise ValueError("L2 fill fault probability must be in [0, 1]")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for reports."""
+        clock = "dynamic" if self.dynamic else f"Cr={self.cycle_time}"
+        if self.control_cycle_time is not None:
+            clock += f"/ctl={self.control_cycle_time}"
+        return f"{self.app}/{clock}/{self.policy.name}/{self.planes}"

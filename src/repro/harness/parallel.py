@@ -1,0 +1,43 @@
+"""Parallel experiment execution across processes.
+
+The figure sweeps are embarrassingly parallel -- every configuration is an
+independent simulation.  ``run_experiments`` fans a list of configs across
+worker processes and returns results in input order.  Determinism is
+unchanged: each result depends only on its config, never on scheduling.
+
+The golden-observation cache is per process, so workers re-derive golden
+runs; with one config per (app, seed) that cost is already paid once per
+worker at most.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+
+def _worker(config: ExperimentConfig) -> ExperimentResult:
+    return run_experiment(config)
+
+
+def run_experiments(
+    configs: "list[ExperimentConfig]",
+    max_workers: "int | None" = None,
+) -> "list[ExperimentResult]":
+    """Run every config, in input order, optionally across processes.
+
+    ``max_workers=1`` (or a single config) runs serially in-process --
+    same results, no fork overhead.  ``None`` lets the executor pick the
+    machine's default worker count.
+    """
+    if not configs:
+        raise ValueError("need at least one configuration")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be positive")
+    if max_workers == 1 or len(configs) == 1:
+        return [run_experiment(config) for config in configs]
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers) as executor:
+        return list(executor.map(_worker, configs))

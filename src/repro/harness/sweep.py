@@ -1,0 +1,67 @@
+"""Cartesian experiment sweeps (used by the ablation benchmarks)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.recovery import RecoveryPolicy
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration and its (possibly seed-averaged) results."""
+
+    config: ExperimentConfig
+    results: "tuple[ExperimentResult, ...]"
+
+    @property
+    def mean_fallibility(self) -> float:
+        """Mean fallibility over the point's seed replicas."""
+        return sum(result.fallibility for result in self.results) / len(
+            self.results)
+
+    @property
+    def mean_product(self) -> float:
+        """Mean EDF^2 product over the point's seed replicas."""
+        return sum(result.product() for result in self.results) / len(
+            self.results)
+
+    @property
+    def fatal_runs(self) -> int:
+        """Replicas that ended in a fatal error."""
+        return sum(1 for result in self.results if result.fatal)
+
+
+def sweep(
+    base: ExperimentConfig,
+    cycle_times: "tuple[float, ...]" = (1.0,),
+    policies: "tuple[RecoveryPolicy, ...] | None" = None,
+    seeds: "tuple[int, ...]" = (7,),
+    fault_scales: "tuple[float, ...] | None" = None,
+) -> "list[SweepPoint]":
+    """Run the cartesian product of the given axes over ``base``.
+
+    Axes left at their defaults are inherited from ``base``.  Seeds vary
+    within a point (they are replicas, not configurations).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    policy_axis = policies if policies is not None else (base.policy,)
+    scale_axis = (fault_scales if fault_scales is not None
+                  else (base.fault_scale,))
+    points = []
+    for cycle_time in cycle_times:
+        for policy in policy_axis:
+            for scale in scale_axis:
+                results = tuple(
+                    run_experiment(replace(
+                        base, cycle_time=cycle_time, policy=policy,
+                        fault_scale=scale, seed=seed))
+                    for seed in seeds)
+                points.append(SweepPoint(
+                    config=replace(base, cycle_time=cycle_time,
+                                   policy=policy, fault_scale=scale),
+                    results=results))
+    return points

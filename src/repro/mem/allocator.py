@@ -1,0 +1,88 @@
+"""Bump allocator for application data structures in simulated memory.
+
+The NetBench reimplementations place their algorithmic data structures
+(CRC tables, radix-tree nodes, NAT tables, packet buffers, ...) in the
+simulated address space so that cache faults corrupt real state.  The
+allocator hands out non-overlapping, aligned regions and remembers them by
+label so tests and error observers can locate structures after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.errors import MemoryAccessError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A labelled allocation: ``[address, address + size)``."""
+
+    label: str
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether an address falls inside the region."""
+        return self.address <= address < self.end
+
+
+class BumpAllocator:
+    """Monotonic allocator over ``[base, base + capacity)``.
+
+    Allocation never frees; the simulated applications build their state
+    once per run, matching how the NetBench kernels use static tables.
+    """
+
+    def __init__(self, base: int, capacity: int) -> None:
+        if base < 0 or capacity <= 0:
+            raise ValueError("base must be >= 0 and capacity positive")
+        self._base = base
+        self._limit = base + capacity
+        self._next = base
+        self._regions: "dict[str, Region]" = {}
+
+    def alloc(self, label: str, size: int, align: int = 4) -> Region:
+        """Allocate ``size`` bytes aligned to ``align``; labels are unique."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        if label in self._regions:
+            raise ValueError(f"duplicate allocation label {label!r}")
+        start = (self._next + align - 1) & ~(align - 1)
+        if start + size > self._limit:
+            raise MemoryAccessError(
+                f"out of simulated memory allocating {size} bytes "
+                f"for {label!r} (free: {self._limit - start})")
+        region = Region(label=label, address=start, size=size)
+        self._regions[label] = region
+        self._next = start + size
+        return region
+
+    def region(self, label: str) -> Region:
+        """Look up an allocation by label."""
+        try:
+            return self._regions[label]
+        except KeyError:
+            raise KeyError(f"no region labelled {label!r}") from None
+
+    @property
+    def regions(self) -> "tuple[Region, ...]":
+        """All allocations, in allocation order."""
+        return tuple(self._regions.values())
+
+    @property
+    def bytes_used(self) -> int:
+        """Bytes allocated so far."""
+        return self._next - self._base
+
+    @property
+    def bytes_free(self) -> int:
+        """Bytes still available."""
+        return self._limit - self._next

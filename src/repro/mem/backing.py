@@ -1,0 +1,44 @@
+"""Flat byte-addressable backing store -- the simulated DRAM.
+
+The backing store is the lowest level of the hierarchy.  It is assumed
+reliable: the paper injects faults into the level-1 data cache only, and
+treats lower levels as correct unless a corrupted value is explicitly
+written back to them.
+"""
+
+from __future__ import annotations
+
+from repro.mem.errors import MemoryAccessError
+
+
+class BackingStore:
+    """A fixed-size, zero-initialised, byte-addressable memory."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self._data = bytearray(size)
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        """Capacity in bytes."""
+        return self._size
+
+    def _check_range(self, address: int, length: int) -> None:
+        if length <= 0:
+            raise MemoryAccessError(f"access length must be positive: {length}")
+        if address < 0 or address + length > self._size:
+            raise MemoryAccessError(
+                f"access [{address:#x}, {address + length:#x}) outside "
+                f"memory of size {self._size:#x}")
+
+    def read_block(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        self._check_range(address, length)
+        return bytes(self._data[address:address + length])
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        self._check_range(address, len(data))
+        self._data[address:address + len(data)] = data

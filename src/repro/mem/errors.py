@@ -1,0 +1,21 @@
+"""Exceptions raised by the memory substrate."""
+
+from __future__ import annotations
+
+
+class MemoryAccessError(Exception):
+    """An access fell outside the backing store or violated alignment.
+
+    During fault-injected runs this typically means a corrupted pointer or
+    index escaped the application's data structures; the experiment harness
+    converts it into a *fatal error* (paper Section 2).
+    """
+
+
+class StraddlingAccessError(MemoryAccessError):
+    """An access crossed a cache-line boundary.
+
+    The simulated caches service single-line accesses only; the typed
+    :class:`repro.mem.view.MemView` API keeps natural alignment so this can
+    only fire on a corrupted address.
+    """

@@ -1,0 +1,84 @@
+"""Typed load/store view over the memory hierarchy.
+
+The NetBench reimplementations talk to simulated memory exclusively through
+this API.  Application code always issues naturally-aligned little-endian
+accesses; addresses *derived from corrupted data* may be anything, and the
+view forwards them as hardware would: an access that stays within one cache
+line returns the bytes at that address (unaligned-but-in-line loads behave
+like x86), a line-straddling access yields deterministic garbage (ARM-style
+unaligned junk, handled by the hierarchy), and an access outside the
+address space raises :class:`repro.mem.errors.MemoryAccessError`, which the
+harness scores as a fatal error (the crash case of paper Section 2).
+"""
+
+from __future__ import annotations
+
+from repro.mem.errors import MemoryAccessError
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+class MemView:
+    """Byte/halfword/word accessors over a :class:`MemoryHierarchy`."""
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+
+    @staticmethod
+    def _check_address(address: int) -> None:
+        if address < 0:
+            raise MemoryAccessError(f"negative address {address:#x}")
+
+    # -- loads -------------------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        """Load one byte."""
+        self._check_address(address)
+        return self.hierarchy.read(address, 1)
+
+    def read_u16(self, address: int) -> int:
+        """Load a halfword (little-endian)."""
+        self._check_address(address)
+        return self.hierarchy.read(address, 2)
+
+    def read_u32(self, address: int) -> int:
+        """Load a word (little-endian)."""
+        self._check_address(address)
+        return self.hierarchy.read(address, 4)
+
+    # -- stores -------------------------------------------------------------
+
+    def write_u8(self, address: int, value: int) -> None:
+        """Store one byte."""
+        self._check_address(address)
+        self.hierarchy.write(address, value & 0xFF, 1)
+
+    def write_u16(self, address: int, value: int) -> None:
+        """Store a halfword (little-endian)."""
+        self._check_address(address)
+        self.hierarchy.write(address, value & 0xFFFF, 2)
+
+    def write_u32(self, address: int, value: int) -> None:
+        """Store a word (little-endian)."""
+        self._check_address(address)
+        self.hierarchy.write(address, value & 0xFFFFFFFF, 4)
+
+    # -- bulk helpers ------------------------------------------------------
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Store a byte string through the cache, byte by byte."""
+        for offset, byte in enumerate(data):
+            self.write_u8(address + offset, byte)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Load ``length`` bytes through the cache, byte by byte."""
+        return bytes(self.read_u8(address + offset)
+                     for offset in range(length))
+
+    def write_u32_array(self, address: int, values: "list[int]") -> None:
+        """Store consecutive 32-bit words starting at ``address``."""
+        for index, value in enumerate(values):
+            self.write_u32(address + 4 * index, value)
+
+    def read_u32_array(self, address: int, count: int) -> "list[int]":
+        """Load ``count`` consecutive 32-bit words."""
+        return [self.read_u32(address + 4 * index) for index in range(count)]

@@ -1,0 +1,102 @@
+"""IPv4 header construction, parsing, and the RFC 1071 checksum.
+
+These are *host-side* reference implementations used to synthesise traffic
+and to compute golden values.  The applications re-implement the checksum
+*inside* simulated memory (:mod:`repro.apps.checksum`) so that cache faults
+can corrupt it; tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+IPV4_HEADER_BYTES = 20
+PROTOCOL_TCP = 6
+PROTOCOL_UDP = 17
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit address: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 one's-complement checksum over 16-bit big-endian words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """The fields of a (option-free) IPv4 header."""
+
+    source: int
+    destination: int
+    ttl: int = 64
+    protocol: int = PROTOCOL_UDP
+    identification: int = 0
+    total_length: int = IPV4_HEADER_BYTES
+
+    def pack(self) -> bytes:
+        """Serialise to 20 bytes with a valid header checksum."""
+        without_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            0x45,                     # version 4, IHL 5
+            0,                        # DSCP/ECN
+            self.total_length,
+            self.identification,
+            0,                        # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,                        # checksum placeholder
+            self.source.to_bytes(4, "big"),
+            self.destination.to_bytes(4, "big"),
+        )
+        checksum = internet_checksum(without_checksum)
+        return without_checksum[:10] + struct.pack("!H", checksum) + without_checksum[12:]
+
+
+def parse_header(data: bytes) -> Ipv4Header:
+    """Parse the first 20 bytes of a packet into an :class:`Ipv4Header`."""
+    if len(data) < IPV4_HEADER_BYTES:
+        raise ValueError(f"short header: {len(data)} bytes")
+    (version_ihl, _dscp, total_length, identification, _frag, ttl,
+     protocol, _checksum, source, destination) = struct.unpack(
+        "!BBHHHBBH4s4s", data[:IPV4_HEADER_BYTES])
+    if version_ihl != 0x45:
+        raise ValueError(f"unsupported version/IHL {version_ihl:#x}")
+    return Ipv4Header(
+        source=int.from_bytes(source, "big"),
+        destination=int.from_bytes(destination, "big"),
+        ttl=ttl, protocol=protocol, identification=identification,
+        total_length=total_length)
+
+
+def verify_checksum(header_bytes: bytes) -> bool:
+    """Whether a 20-byte header's checksum field is consistent (sum == 0)."""
+    if len(header_bytes) != IPV4_HEADER_BYTES:
+        raise ValueError("header must be exactly 20 bytes")
+    return internet_checksum(header_bytes) == 0

@@ -1,0 +1,53 @@
+"""Packet objects fed to the simulated applications.
+
+A :class:`Packet` carries the IPv4 header fields plus an opaque payload.
+``wire_bytes`` produces the on-the-wire image (header + payload) that the
+applications copy into simulated memory before processing, so that every
+byte they touch travels through the faulty cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.ip import IPV4_HEADER_BYTES, Ipv4Header, PROTOCOL_UDP
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One synthetic packet: header fields + payload."""
+
+    source: int
+    destination: int
+    payload: bytes = b""
+    ttl: int = 64
+    protocol: int = PROTOCOL_UDP
+    identification: int = 0
+    flow_id: int = 0
+    metadata: "dict[str, object]" = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        for name, value in (("source", self.source),
+                            ("destination", self.destination)):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"{name} is not a 32-bit address: {value:#x}")
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"ttl out of range: {self.ttl}")
+
+    @property
+    def header(self) -> Ipv4Header:
+        """The packet's IPv4 header object."""
+        return Ipv4Header(
+            source=self.source, destination=self.destination, ttl=self.ttl,
+            protocol=self.protocol, identification=self.identification,
+            total_length=IPV4_HEADER_BYTES + len(self.payload))
+
+    @property
+    def wire_bytes(self) -> bytes:
+        """Header (with valid checksum) followed by the payload."""
+        return self.header.pack() + self.payload
+
+    @property
+    def length(self) -> int:
+        """Total on-the-wire length in bytes."""
+        return IPV4_HEADER_BYTES + len(self.payload)

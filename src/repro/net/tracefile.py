@@ -1,0 +1,80 @@
+"""Trace serialisation: save and replay packet traces.
+
+The synthetic generators are deterministic, but real evaluations want
+*fixed* inputs under version control and the ability to replay captured
+traffic.  Traces are stored as JSON lines -- one packet per line, payload
+hex-encoded -- with a header line carrying format metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.net.packet import Packet
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+def dump_trace(packets: "list[Packet]", path: "str | pathlib.Path") -> int:
+    """Write packets to ``path``; returns the packet count."""
+    if not packets:
+        raise ValueError("refusing to write an empty trace")
+    path = pathlib.Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        header = {"format": FORMAT_NAME, "version": FORMAT_VERSION,
+                  "packets": len(packets)}
+        handle.write(json.dumps(header) + "\n")
+        for packet in packets:
+            record = {
+                "src": packet.source,
+                "dst": packet.destination,
+                "ttl": packet.ttl,
+                "proto": packet.protocol,
+                "id": packet.identification,
+                "flow": packet.flow_id,
+                "payload": packet.payload.hex(),
+            }
+            handle.write(json.dumps(record) + "\n")
+    return len(packets)
+
+
+def load_trace(path: "str | pathlib.Path") -> "list[Packet]":
+    """Read a trace written by :func:`dump_trace`."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_NAME:
+            raise ValueError(f"{path}: not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')}")
+        packets = []
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                packets.append(Packet(
+                    source=record["src"],
+                    destination=record["dst"],
+                    ttl=record["ttl"],
+                    protocol=record["proto"],
+                    identification=record["id"],
+                    flow_id=record["flow"],
+                    payload=bytes.fromhex(record["payload"]),
+                ))
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed packet record "
+                    f"({exc})") from exc
+    declared = header.get("packets")
+    if declared is not None and declared != len(packets):
+        raise ValueError(
+            f"{path}: header declares {declared} packets, found "
+            f"{len(packets)}")
+    return packets

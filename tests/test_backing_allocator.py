@@ -1,0 +1,107 @@
+"""Backing store and bump allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.allocator import BumpAllocator, Region
+from repro.mem.backing import BackingStore
+from repro.mem.errors import MemoryAccessError
+
+
+class TestBackingStore:
+    def test_zero_initialised(self):
+        store = BackingStore(64)
+        assert store.read_block(0, 64) == bytes(64)
+
+    def test_read_back_what_was_written(self):
+        store = BackingStore(256)
+        store.write_block(10, b"packet")
+        assert store.read_block(10, 6) == b"packet"
+
+    def test_adjacent_writes_do_not_interfere(self):
+        store = BackingStore(64)
+        store.write_block(0, b"aaaa")
+        store.write_block(4, b"bbbb")
+        assert store.read_block(0, 8) == b"aaaabbbb"
+
+    @pytest.mark.parametrize("address,length", [
+        (-1, 4), (62, 4), (64, 1), (0, 0), (0, -3)])
+    def test_out_of_range_access_raises(self, address, length):
+        store = BackingStore(64)
+        with pytest.raises(MemoryAccessError):
+            store.read_block(address, length)
+
+    def test_write_past_end_raises(self):
+        store = BackingStore(64)
+        with pytest.raises(MemoryAccessError):
+            store.write_block(62, b"toolong")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            BackingStore(0)
+
+
+class TestRegion:
+    def test_bounds(self):
+        region = Region("table", address=0x100, size=0x40)
+        assert region.end == 0x140
+        assert region.contains(0x100)
+        assert region.contains(0x13F)
+        assert not region.contains(0x140)
+
+
+class TestBumpAllocator:
+    def test_sequential_non_overlapping(self):
+        allocator = BumpAllocator(0x1000, 0x1000)
+        first = allocator.alloc("a", 100)
+        second = allocator.alloc("b", 100)
+        assert first.end <= second.address
+
+    def test_alignment(self):
+        allocator = BumpAllocator(0x1000, 0x1000)
+        allocator.alloc("odd", 3, align=1)
+        aligned = allocator.alloc("word", 8, align=8)
+        assert aligned.address % 8 == 0
+
+    def test_label_lookup(self):
+        allocator = BumpAllocator(0x1000, 0x1000)
+        region = allocator.alloc("crc_table", 1024)
+        assert allocator.region("crc_table") is region
+
+    def test_duplicate_label_rejected(self):
+        allocator = BumpAllocator(0x1000, 0x1000)
+        allocator.alloc("x", 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            allocator.alloc("x", 4)
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            BumpAllocator(0x1000, 0x100).region("nope")
+
+    def test_exhaustion_raises_memory_error(self):
+        allocator = BumpAllocator(0x1000, 64)
+        with pytest.raises(MemoryAccessError, match="out of simulated memory"):
+            allocator.alloc("big", 128)
+
+    def test_usage_accounting(self):
+        allocator = BumpAllocator(0x1000, 0x100)
+        allocator.alloc("a", 0x40)
+        assert allocator.bytes_used == 0x40
+        assert allocator.bytes_free == 0xC0
+
+    @pytest.mark.parametrize("size,align", [(0, 4), (-4, 4), (8, 3), (8, 0)])
+    def test_invalid_requests_rejected(self, size, align):
+        allocator = BumpAllocator(0x1000, 0x1000)
+        with pytest.raises(ValueError):
+            allocator.alloc("bad", size, align=align)
+
+    @given(st.lists(st.integers(min_value=1, max_value=200),
+                    min_size=1, max_size=30))
+    def test_property_no_overlap(self, sizes):
+        allocator = BumpAllocator(0, 100000)
+        regions = [allocator.alloc(f"r{i}", size)
+                   for i, size in enumerate(sizes)]
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.end <= later.address
+        for region, size in zip(regions, sizes):
+            assert region.size == size

@@ -1,0 +1,146 @@
+"""Correlated fault bursts and the dynamic scheme's response to them."""
+
+import pytest
+
+from repro.core.recovery import TWO_STRIKE
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.mem.faults import FaultInjector
+
+
+class TestBurstInjector:
+    def test_bursts_multiply_the_rate(self):
+        def hit_rate(**kwargs):
+            injector = FaultInjector(seed=5, scale=2e3, **kwargs)
+            trials = 20000
+            hits = sum(1 for _ in range(trials)
+                       if injector.draw(0.5, 32) is not None)
+            return hits / trials, injector
+
+        base_rate, _ = hit_rate()
+        bursty_rate, injector = hit_rate(burst_start_probability=0.01,
+                                         burst_length=50,
+                                         burst_multiplier=20.0)
+        assert bursty_rate > base_rate * 3
+        assert injector.bursts_started > 0
+
+    def test_burst_duration_bounded(self):
+        injector = FaultInjector(seed=1, scale=1.0,
+                                 burst_start_probability=1.0,
+                                 burst_length=3, burst_multiplier=2.0)
+        injector.draw(0.5, 32)
+        # The first draw started (and consumed one access of) a burst.
+        assert injector.bursts_started == 1
+        assert injector._burst_remaining == 2
+
+    def test_no_bursts_by_default(self):
+        injector = FaultInjector(seed=1, scale=1.0)
+        for _ in range(100):
+            injector.draw(0.25, 32)
+        assert injector.bursts_started == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(burst_start_probability=-0.1),
+        dict(burst_start_probability=2.0),
+        dict(burst_start_probability=0.5, burst_length=0),
+        dict(burst_start_probability=0.5, burst_length=5,
+             burst_multiplier=0.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjector(**kwargs)
+
+    def test_probability_saturates_under_extreme_multiplier(self):
+        injector = FaultInjector(seed=2, scale=1e3,
+                                 burst_start_probability=1.0,
+                                 burst_length=10, burst_multiplier=1e12)
+        assert injector.draw(0.25, 32) is not None
+
+
+class TestBurstExperiments:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(app="crc", burst_start_probability=0.5)
+        ExperimentConfig(app="crc", burst_start_probability=0.01,
+                         burst_length=100)
+
+    def test_bursty_runs_err_more(self):
+        quiet = run_experiment(ExperimentConfig(
+            app="crc", packet_count=150, cycle_time=0.5, seed=9,
+            fault_scale=10.0))
+        bursty = run_experiment(ExperimentConfig(
+            app="crc", packet_count=150, cycle_time=0.5, seed=9,
+            fault_scale=10.0, burst_start_probability=0.001,
+            burst_length=200, burst_multiplier=50.0))
+        assert bursty.injected_faults > quiet.injected_faults
+        assert bursty.erroneous_packets >= quiet.erroneous_packets
+
+    def test_dynamic_backs_off_during_bursts(self):
+        # The controller's purpose: with parity detection and a bursty
+        # environment, the clock retreats when an epoch shows a fault
+        # burst (history contains at least one slowdown step).
+        result = run_experiment(ExperimentConfig(
+            app="crc", packet_count=800, dynamic=True, policy=TWO_STRIKE,
+            seed=3, fault_scale=10.0, burst_start_probability=0.0005,
+            burst_length=2000, burst_multiplier=100.0))
+        history = result.cycle_history
+        slowdowns = sum(1 for previous, current in zip(history, history[1:])
+                        if current > previous)
+        assert slowdowns >= 1
+
+
+class TestFaultyL2:
+    def test_disabled_by_default(self):
+        result = run_experiment(ExperimentConfig(
+            app="crc", packet_count=40, fault_scale=10.0))
+        assert result.config.l2_fill_fault_probability == 0.0
+
+    def test_l2_faults_undetectable_by_l1_protection(self):
+        # The same runs with parity protection: L2-side corruption enters
+        # before check-bit generation, so detection counts stay flat while
+        # errors appear.
+        clean = run_experiment(ExperimentConfig(
+            app="crc", packet_count=150, cycle_time=0.5, seed=4,
+            policy=TWO_STRIKE, fault_scale=0.0))
+        dirty = run_experiment(ExperimentConfig(
+            app="crc", packet_count=150, cycle_time=0.5, seed=4,
+            policy=TWO_STRIKE, fault_scale=0.0,
+            l2_fill_fault_probability=0.05))
+        assert clean.erroneous_packets == 0
+        assert dirty.erroneous_packets > 0
+        assert dirty.detected_faults == 0  # invisible to parity
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(app="crc", l2_fill_fault_probability=1.5)
+
+    def test_golden_run_unaffected(self):
+        # faulty=False forces the probability to zero in the golden run,
+        # so goldens stay pristine even when the config asks for L2 faults.
+        result = run_experiment(ExperimentConfig(
+            app="tl", packet_count=40, fault_scale=0.0,
+            l2_fill_fault_probability=0.2, seed=2))
+        assert result.offered_packets == 40
+
+
+class TestErrorPersistence:
+    def test_clean_run_has_no_error_runs(self):
+        result = run_experiment(ExperimentConfig(
+            app="route", packet_count=60, fault_scale=0.0))
+        assert result.error_runs == ()
+        assert result.mean_error_persistence == 0.0
+
+    def test_runs_account_for_all_errors(self):
+        result = run_experiment(ExperimentConfig(
+            app="md5", packet_count=150, cycle_time=0.25, seed=5,
+            fault_scale=30.0))
+        assert sum(result.error_runs) == result.erroneous_packets
+
+    def test_transient_kernels_have_short_runs(self):
+        # md5's per-packet digests make almost every error volatile
+        # (length ~1); a persistent-table corruption shows as longer runs.
+        result = run_experiment(ExperimentConfig(
+            app="md5", packet_count=200, cycle_time=0.25, seed=5,
+            fault_scale=20.0, planes="data"))
+        if result.error_runs:
+            assert result.mean_error_persistence < 3.0

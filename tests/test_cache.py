@@ -1,0 +1,210 @@
+"""Generic set-associative cache model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.backing import BackingStore
+from repro.mem.cache import Cache
+from repro.mem.errors import StraddlingAccessError
+
+
+def make_cache(size=256, line=32, assoc=2, store_size=1 << 14,
+               lower=None, **kwargs):
+    lower = lower if lower is not None else BackingStore(store_size)
+    return Cache("T", size, line, assoc, lower, **kwargs), lower
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache, _ = make_cache(size=256, line=32, assoc=2)
+        assert cache.num_sets == 4
+
+    def test_line_address(self):
+        cache, _ = make_cache()
+        assert cache.line_address(0x47) == 0x40
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size=0), dict(line=0), dict(line=24), dict(assoc=0),
+        dict(size=100)])
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_cache(**kwargs)
+
+
+class TestBasicBehaviour:
+    def test_read_miss_fills_from_lower(self):
+        cache, store = make_cache()
+        store.write_block(0x100, b"\xAB" * 4)
+        assert cache.read(0x100, 4) == b"\xAB" * 4
+        assert cache.stats.misses == 1
+
+    def test_second_read_hits(self):
+        cache, _ = make_cache()
+        cache.read(0x100, 4)
+        cache.read(0x104, 4)
+        assert cache.stats.read_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_write_read_roundtrip(self):
+        cache, _ = make_cache()
+        cache.write(0x40, b"\x01\x02\x03\x04")
+        assert cache.read(0x40, 4) == b"\x01\x02\x03\x04"
+
+    def test_write_back_is_lazy(self):
+        cache, store = make_cache()
+        cache.write(0x40, b"dirt")
+        # The lower level must not see the write until eviction/flush.
+        assert store.read_block(0x40, 4) == bytes(4)
+        cache.flush()
+        assert store.read_block(0x40, 4) == b"dirt"
+
+    def test_straddling_access_rejected(self):
+        cache, _ = make_cache(line=32)
+        with pytest.raises(StraddlingAccessError):
+            cache.read(30, 4)
+        with pytest.raises(StraddlingAccessError):
+            cache.write(30, b"1234")
+
+
+class TestReplacement:
+    def test_lru_victim_selected(self):
+        # 2-way, 4 sets of 32B lines: addresses 0x000, 0x080, 0x100 collide
+        # in set 0 (stride = num_sets * line = 128).
+        cache, _ = make_cache(size=256, line=32, assoc=2)
+        cache.read(0x000, 4)
+        cache.read(0x080, 4)
+        cache.read(0x000, 4)    # refresh 0x000; LRU is now 0x080
+        cache.read(0x100, 4)    # evicts 0x080
+        assert cache.contains(0x000)
+        assert not cache.contains(0x080)
+        assert cache.contains(0x100)
+
+    def test_eviction_writes_back_dirty_victim(self):
+        cache, store = make_cache(size=256, line=32, assoc=1)
+        cache.write(0x000, b"aaaa")
+        cache.read(0x100, 4)    # direct-mapped conflict evicts dirty line
+        assert store.read_block(0x000, 4) == b"aaaa"
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_skips_writeback(self):
+        cache, _ = make_cache(size=256, line=32, assoc=1)
+        cache.read(0x000, 4)
+        cache.read(0x100, 4)
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 0
+
+    def test_capacity_bounded(self):
+        cache, _ = make_cache(size=256, line=32, assoc=2)
+        for i in range(64):
+            cache.read(i * 32, 4)
+        assert cache.resident_lines <= 8
+
+
+class TestCallbacks:
+    def test_fill_and_writeback_callbacks_fire(self):
+        fills, writebacks = [], []
+        cache, _ = make_cache(size=256, line=32, assoc=1,
+                              on_fill=fills.append,
+                              on_writeback=writebacks.append)
+        cache.write(0x000, b"dirt")
+        cache.read(0x100, 4)
+        assert fills == [0x000, 0x100]
+        assert writebacks == [0x000]
+
+    def test_flush_fires_writeback_callback(self):
+        writebacks = []
+        cache, _ = make_cache(on_writeback=writebacks.append)
+        cache.write(0x20, b"dirt")
+        cache.flush()
+        assert writebacks == [0x20]
+
+
+class TestMaintenance:
+    def test_invalidate_discards_without_writeback(self):
+        cache, store = make_cache()
+        cache.write(0x40, b"dirt")
+        assert cache.invalidate_line(0x44)
+        assert not cache.contains(0x40)
+        assert store.read_block(0x40, 4) == bytes(4)
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_missing_line_is_noop(self):
+        cache, _ = make_cache()
+        assert not cache.invalidate_line(0x40)
+        assert cache.stats.invalidations == 0
+
+    def test_poke_updates_only_resident_lines(self):
+        cache, _ = make_cache()
+        assert not cache.poke(0x40, b"zz")
+        cache.read(0x40, 4)
+        assert cache.poke(0x40, b"zz")
+        assert cache.read(0x40, 2) == b"zz"
+
+    def test_poke_read_requires_residency(self):
+        cache, _ = make_cache()
+        with pytest.raises(KeyError):
+            cache.poke_read(0x40)
+        cache.write(0x40, b"\x7F")
+        assert cache.poke_read(0x40) == b"\x7F"
+
+    def test_poke_does_not_touch_stats(self):
+        cache, _ = make_cache()
+        cache.read(0x40, 4)
+        before = cache.stats.accesses
+        cache.poke(0x40, b"x")
+        cache.poke_read(0x40)
+        assert cache.stats.accesses == before
+
+
+class TestMultiLevel:
+    def test_l1_over_l2_inclusion_of_data(self):
+        store = BackingStore(1 << 14)
+        l2 = Cache("L2", 1024, 64, 2, store)
+        l1, _ = make_cache(size=256, line=32, assoc=1, lower=l2)
+        l1.write(0x200, b"deep")
+        l1.flush()
+        assert l2.read(0x200, 4) == b"deep"
+
+    def test_l1_miss_reads_through_l2(self):
+        store = BackingStore(1 << 14)
+        l2 = Cache("L2", 1024, 64, 2, store)
+        l1, _ = make_cache(size=256, line=32, assoc=1, lower=l2)
+        store.write_block(0x300, b"data")
+        assert l1.read(0x300, 4) == b"data"
+        assert l2.stats.misses == 1
+        assert l1.read(0x300, 4) == b"data"
+        assert l2.stats.accesses == 1  # second read served by L1
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.booleans(),
+                  st.integers(min_value=0, max_value=1023),
+                  st.integers(min_value=0, max_value=255)),
+        min_size=1, max_size=300))
+    def test_read_your_writes_property(self, operations):
+        # Whatever the cache does internally, the architectural bytes must
+        # match a flat reference memory.
+        cache, _ = make_cache(size=128, line=16, assoc=2, store_size=1024)
+        reference = bytearray(1024)
+        for is_write, address, value in operations:
+            if is_write:
+                cache.write(address, bytes([value]))
+                reference[address] = value
+            else:
+                assert cache.read(address, 1) == bytes([reference[address]])
+
+    def test_randomised_flush_consistency(self):
+        rng = random.Random(0)
+        cache, store = make_cache(size=128, line=16, assoc=1, store_size=2048)
+        reference = bytearray(2048)
+        for _ in range(2000):
+            address = rng.randrange(2048)
+            value = rng.randrange(256)
+            cache.write(address, bytes([value]))
+            reference[address] = value
+        cache.flush()
+        assert store.read_block(0, 2048) == bytes(reference)

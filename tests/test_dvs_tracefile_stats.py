@@ -1,0 +1,151 @@
+"""DVS comparison model, trace serialisation, and replica statistics."""
+
+import math
+
+import pytest
+
+from repro.core.dvs import (
+    DVS_TRANSITION_CYCLES,
+    VoltageScalingModel,
+    compare_techniques,
+)
+from repro.harness.stats import Summary, format_summary, summarize
+from repro.net.tracefile import dump_trace, load_trace
+from repro.net.trace import make_prefixes, routed_trace
+
+
+class TestVoltageScalingModel:
+    def test_normalised_at_unity(self):
+        model = VoltageScalingModel()
+        assert model.relative_frequency(1.0) == pytest.approx(1.0)
+        assert model.relative_energy(1.0) == pytest.approx(1.0)
+
+    def test_frequency_monotone_in_voltage(self):
+        model = VoltageScalingModel()
+        freqs = [model.relative_frequency(0.4 + 0.1 * i) for i in range(8)]
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_below_threshold_no_switching(self):
+        model = VoltageScalingModel()
+        assert model.relative_frequency(0.3) == 0.0
+
+    def test_voltage_for_frequency_roundtrip(self):
+        model = VoltageScalingModel()
+        for target in (0.5, 1.0, 2.0, 4.0):
+            voltage = model.voltage_for_frequency(target)
+            assert model.relative_frequency(voltage) == pytest.approx(
+                target, rel=1e-6)
+
+    def test_speed_costs_quadratic_energy(self):
+        model = VoltageScalingModel()
+        assert model.energy_at_frequency(2.0) > 1.5
+        assert model.energy_at_frequency(0.5) < 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(threshold_voltage=0.0), dict(threshold_voltage=1.0),
+        dict(alpha=0.0)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            VoltageScalingModel(**kwargs)
+
+    def test_unreachable_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            VoltageScalingModel().voltage_for_frequency(0.0)
+
+
+class TestTechniqueComparison:
+    def test_clumsy_saves_energy_dvs_pays(self):
+        clumsy, dvs = compare_techniques(2.0)
+        assert clumsy.relative_access_energy < 1.0   # swing shrinks
+        assert dvs.relative_access_energy > 1.0      # rail rises
+
+    def test_dvs_is_fault_free_clumsy_is_not(self):
+        clumsy, dvs = compare_techniques(4.0)
+        assert dvs.fault_multiplier == 1.0
+        assert clumsy.fault_multiplier == pytest.approx(100.0, rel=0.01)
+
+    def test_transition_costs(self):
+        clumsy, dvs = compare_techniques(2.0)
+        assert clumsy.transition_cycles == 10
+        assert dvs.transition_cycles == DVS_TRANSITION_CYCLES
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            compare_techniques(0.0)
+
+
+class TestTraceFiles:
+    def test_roundtrip(self, tmp_path):
+        prefixes = make_prefixes(8, seed=4)
+        packets = routed_trace(25, prefixes, seed=4, payload_bytes=19)
+        path = tmp_path / "trace.jsonl"
+        assert dump_trace(packets, path) == 25
+        assert load_trace(path) == packets
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            dump_trace([], tmp_path / "x.jsonl")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "pcap", "version": 1}\n')
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            load_trace(path)
+
+    def test_truncated_trace_detected(self, tmp_path):
+        prefixes = make_prefixes(4, seed=4)
+        packets = routed_trace(5, prefixes, seed=4)
+        path = tmp_path / "trace.jsonl"
+        dump_trace(packets, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="declares 5"):
+            load_trace(path)
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1, "packets": 1}\n'
+            '{"src": 1}\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(path)
+
+
+class TestStats:
+    def test_mean_and_spread(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.stddev == pytest.approx(math.sqrt(5 / 3))
+        assert summary.count == 4
+        assert summary.low < 2.5 < summary.high
+
+    def test_single_value_degenerate(self):
+        summary = summarize([7.0])
+        assert summary.mean == 7.0
+        assert summary.confidence_halfwidth == 0.0
+
+    def test_interval_shrinks_with_replicas(self):
+        narrow = summarize([1.0, 1.1] * 10)
+        wide = summarize([1.0, 1.1])
+        assert narrow.confidence_halfwidth < wide.confidence_halfwidth
+
+    def test_overlap_logic(self):
+        a = Summary(count=3, mean=1.0, stddev=0.1,
+                    confidence_halfwidth=0.2)
+        b = Summary(count=3, mean=1.3, stddev=0.1,
+                    confidence_halfwidth=0.2)
+        c = Summary(count=3, mean=2.0, stddev=0.1,
+                    confidence_halfwidth=0.2)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_formatting(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        text = format_summary(summary)
+        assert "±" in text and text.startswith("2.000")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)

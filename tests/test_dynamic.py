@@ -1,0 +1,116 @@
+"""Dynamic frequency adaptation controller (paper Section 4)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicFrequencyController
+from repro.core.frequency import FrequencyLadder
+
+
+def finish_epoch(controller, faults):
+    """Feed one full epoch with a given fault count; returns changed flag."""
+    controller.record_fault(faults)
+    changed = False
+    for _ in range(controller.epoch_packets):
+        changed = controller.packet_completed()
+    return changed
+
+
+class TestRampUp:
+    def test_quiet_epochs_climb_to_fastest(self):
+        controller = DynamicFrequencyController()
+        history = []
+        for _ in range(5):
+            finish_epoch(controller, faults=0)
+            history.append(controller.cycle_time)
+        # Three steps to the fastest level, then clamped.
+        assert history == [0.75, 0.5, 0.25, 0.25, 0.25]
+
+    def test_change_flag_reported_at_epoch_boundary(self):
+        controller = DynamicFrequencyController()
+        controller.record_fault(0)
+        for _ in range(controller.epoch_packets - 1):
+            assert not controller.packet_completed()
+        assert controller.packet_completed()
+
+
+class TestThresholds:
+    def test_x1_slowdown(self):
+        controller = DynamicFrequencyController()
+        finish_epoch(controller, 0)      # -> 0.75, reference 0
+        finish_epoch(controller, 10)     # 10 > 200% of anchor(0 -> 1): slower
+        assert controller.cycle_time == 1.0
+
+    def test_hold_between_thresholds(self):
+        controller = DynamicFrequencyController()
+        finish_epoch(controller, 0)      # -> 0.75, reference 0
+        finish_epoch(controller, 8)      # slower, reference 8
+        assert controller.cycle_time == 1.0
+        finish_epoch(controller, 10)     # within [6.4, 16]: hold
+        assert controller.cycle_time == 1.0
+
+    def test_x2_speedup_relative_to_reference(self):
+        controller = DynamicFrequencyController()
+        finish_epoch(controller, 0)      # -> 0.75
+        finish_epoch(controller, 10)     # -> 1.0, reference 10
+        finish_epoch(controller, 7)      # 7 < 80% of 10: faster
+        assert controller.cycle_time == 0.75
+
+    def test_exact_boundaries_hold(self):
+        controller = DynamicFrequencyController()
+        finish_epoch(controller, 0)      # -> 0.75
+        finish_epoch(controller, 10)     # -> 1.0, reference 10
+        finish_epoch(controller, 8)      # exactly 80%: hold (strict <)
+        assert controller.cycle_time == 1.0
+        finish_epoch(controller, 20)     # exactly 200%: hold (strict >)
+        assert controller.cycle_time == 1.0
+
+
+class TestBookkeeping:
+    def test_history_and_change_count(self):
+        controller = DynamicFrequencyController()
+        finish_epoch(controller, 0)
+        finish_epoch(controller, 0)
+        finish_epoch(controller, 50)
+        assert controller.history == (1.0, 0.75, 0.5, 0.75)
+        assert controller.change_count == 3
+
+    def test_epoch_fault_counter_resets(self):
+        controller = DynamicFrequencyController()
+        controller.record_fault(3)
+        assert controller.epoch_faults == 3
+        finish_epoch(controller, 0)
+        assert controller.epoch_faults == 0
+
+    def test_holding_does_not_update_reference(self):
+        controller = DynamicFrequencyController()
+        finish_epoch(controller, 0)      # -> 0.75, reference 0 (anchor 1)
+        finish_epoch(controller, 1)      # 1 within [0.8, 2]: hold
+        # Reference still anchors at 1, so 3 faults (> 2) now slows down.
+        finish_epoch(controller, 3)
+        assert controller.cycle_time == 1.0
+
+
+class TestValidation:
+    def test_epoch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DynamicFrequencyController(epoch_packets=0)
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            DynamicFrequencyController(x1_percent=50.0, x2_percent=80.0)
+
+    def test_initial_level_must_be_on_ladder(self):
+        with pytest.raises(ValueError):
+            DynamicFrequencyController(initial_cycle_time=0.6)
+
+    def test_negative_fault_count_rejected(self):
+        controller = DynamicFrequencyController()
+        with pytest.raises(ValueError):
+            controller.record_fault(-1)
+
+    def test_custom_ladder_respected(self):
+        controller = DynamicFrequencyController(
+            ladder=FrequencyLadder(levels=(1.0, 0.5)))
+        finish_epoch(controller, 0)
+        finish_epoch(controller, 0)
+        assert controller.cycle_time == 0.5  # clamped on the short ladder

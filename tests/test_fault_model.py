@@ -1,0 +1,126 @@
+"""Composed fault model (paper Figures 4-5, Equation (4), Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import constants
+from repro.core.fault_model import (
+    DEFAULT_QUARTER_CYCLE_MULTIPLIER,
+    FaultModel,
+    FittedFaultFormula,
+    default_fault_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_fault_model()
+
+
+class TestCalibration:
+    def test_base_rate_matches_shivakumar_anchor(self, model):
+        # Section 5.1: 2.59e-7 at the nominal clock.
+        assert model.single_bit_probability(1.0) == pytest.approx(
+            constants.BASE_FAULT_PROBABILITY_PER_BIT, rel=1e-6)
+
+    def test_quarter_cycle_multiplier_anchor(self, model):
+        assert model.fault_multiplier(0.25) == pytest.approx(
+            DEFAULT_QUARTER_CYCLE_MULTIPLIER, rel=1e-6)
+
+    def test_custom_calibration_targets(self):
+        model = FaultModel.calibrated(base_rate=1e-6,
+                                      quarter_cycle_multiplier=50.0)
+        assert model.single_bit_probability(1.0) == pytest.approx(1e-6,
+                                                                  rel=1e-6)
+        assert model.fault_multiplier(0.25) == pytest.approx(50.0, rel=1e-6)
+
+    def test_invalid_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel.calibrated(base_rate=0.0)
+        with pytest.raises(ValueError):
+            FaultModel.calibrated(quarter_cycle_multiplier=1.0)
+
+
+class TestShape:
+    def test_monotone_in_cycle_time(self, model):
+        cycle_times = [0.25 + 0.05 * i for i in range(16)]
+        probabilities = [model.single_bit_probability(cr)
+                         for cr in cycle_times]
+        assert all(b < a for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_flat_then_sharp_rise(self, model):
+        # Section 4: "the clock cycle can be reduced by almost 60% before
+        # we observe a major increase in the number of faults".
+        gentle = model.fault_multiplier(0.5)
+        sharp = model.fault_multiplier(0.25)
+        assert gentle < 10
+        assert sharp / gentle > 5
+
+    def test_figure5_curve_sampling(self, model):
+        curve = model.curve()
+        assert len(curve) == 41
+        assert all(probability > 0 for _, probability in curve)
+
+
+class TestMultiplicity:
+    def test_paper_ratios(self, model):
+        single, double, triple = model.multiplicity_probabilities(1.0)
+        assert double / single == pytest.approx(
+            constants.TWO_BIT_FAULT_RATIO)
+        assert triple / single == pytest.approx(
+            constants.THREE_BIT_FAULT_RATIO)
+
+    def test_section51_absolute_rates(self, model):
+        # 2.59e-9 two-bit and 2.59e-10 three-bit at the nominal clock.
+        assert model.two_bit_probability(1.0) == pytest.approx(2.59e-9,
+                                                               rel=1e-3)
+        assert model.three_bit_probability(1.0) == pytest.approx(2.59e-10,
+                                                                 rel=1e-3)
+
+    def test_ratios_invariant_across_clock(self, model):
+        for cycle_time in (0.75, 0.5, 0.25):
+            single, double, triple = model.multiplicity_probabilities(
+                cycle_time)
+            assert double / single == pytest.approx(1e-2)
+            assert triple / single == pytest.approx(1e-3)
+
+
+class TestFittedFormula:
+    def test_fit_form_matches_equation_four(self, model):
+        fitted = model.fitted()
+        assert isinstance(fitted, FittedFaultFormula)
+        assert fitted.exponent > 0  # grows with Fr^2
+        assert fitted.coefficient > 0
+
+    def test_fit_tracks_model_within_order_of_magnitude(self, model):
+        fitted = model.fitted()
+        for cycle_time in (0.25, 0.4, 0.5, 0.75, 1.0):
+            ratio = (fitted.probability(cycle_time)
+                     / model.single_bit_probability(cycle_time))
+            assert 0.1 < ratio < 10
+
+    def test_fitted_evaluation_rejects_bad_cycle_time(self, model):
+        with pytest.raises(ValueError):
+            model.fitted().probability(0.0)
+
+    def test_fit_needs_two_points(self, model):
+        with pytest.raises(ValueError):
+            model.fitted(cycle_times=[0.5])
+
+
+class TestConsistencyWithComponents:
+    def test_swing_composition(self, model):
+        # P_E(Cr) must equal P_E(Vsr(Cr)) by construction.
+        for cycle_time in (0.3, 0.6, 0.9):
+            swing = model.voltage.swing(cycle_time)
+            assert model.single_bit_probability(cycle_time) == pytest.approx(
+                model.probability_at_swing(swing))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.25, max_value=1.0),
+           st.floats(min_value=0.25, max_value=1.0))
+    def test_monotone_property(self, a, b):
+        model = default_fault_model()
+        low, high = sorted((a, b))
+        assert (model.single_bit_probability(low)
+                >= model.single_bit_probability(high) - 1e-18)

@@ -1,0 +1,74 @@
+"""Frequency ladder and conversions (paper Sections 3-4)."""
+
+import pytest
+
+from repro.core.frequency import (
+    FrequencyLadder,
+    frequency_boost_percent,
+    relative_frequency,
+)
+
+
+@pytest.fixture
+def ladder():
+    return FrequencyLadder()
+
+
+class TestLadder:
+    def test_paper_levels(self, ladder):
+        assert ladder.levels == (1.0, 0.75, 0.5, 0.25)
+
+    def test_faster_steps_toward_smaller_cycle_time(self, ladder):
+        assert ladder.faster(1.0) == 0.75
+        assert ladder.faster(0.5) == 0.25
+
+    def test_faster_clamps_at_top(self, ladder):
+        assert ladder.faster(0.25) == 0.25
+
+    def test_slower_steps_toward_nominal(self, ladder):
+        assert ladder.slower(0.25) == 0.5
+        assert ladder.slower(0.75) == 1.0
+
+    def test_slower_clamps_at_nominal(self, ladder):
+        assert ladder.slower(1.0) == 1.0
+
+    def test_extremes(self, ladder):
+        assert ladder.is_slowest(1.0)
+        assert ladder.is_fastest(0.25)
+        assert not ladder.is_fastest(0.5)
+
+    def test_unknown_level_rejected(self, ladder):
+        with pytest.raises(ValueError):
+            ladder.faster(0.6)
+
+    def test_custom_ladder(self):
+        ladder = FrequencyLadder(levels=(1.0, 0.5))
+        assert ladder.faster(1.0) == 0.5
+
+    @pytest.mark.parametrize("levels", [
+        (1.0,),                 # too short
+        (0.5, 1.0),             # not decreasing
+        (1.0, 1.0, 0.5),        # duplicate
+        (1.0, 0.0),             # non-positive
+    ])
+    def test_invalid_ladders_rejected(self, levels):
+        with pytest.raises(ValueError):
+            FrequencyLadder(levels=levels)
+
+
+class TestConversions:
+    def test_relative_frequency_is_reciprocal(self):
+        assert relative_frequency(0.5) == pytest.approx(2.0)
+        assert relative_frequency(0.25) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("cycle_time,boost",
+                             [(1.0, 0.0), (0.75, pytest.approx(100 / 3)),
+                              (0.5, 100.0), (0.25, 300.0)])
+    def test_paper_boost_percentages(self, cycle_time, boost):
+        # Section 4: frequency increased by 50%, 100%, 300%.  (0.75 is the
+        # +33% step the paper rounds to "50%"; exact arithmetic used here.)
+        assert frequency_boost_percent(cycle_time) == boost
+
+    def test_invalid_cycle_time_rejected(self):
+        with pytest.raises(ValueError):
+            relative_frequency(0.0)

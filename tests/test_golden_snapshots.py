@@ -1,0 +1,51 @@
+"""Snapshot regression tests for the deterministic artifacts.
+
+The analytic figures (1b-5) depend only on the calibrated models, never on
+seeds or traces, so their rendered artifacts are frozen under
+``tests/golden/`` and compared byte-for-byte.  A legitimate model change
+(recalibration) must update the snapshot *and* DESIGN.md's calibration
+section together; this test is the tripwire.
+
+Regenerate a snapshot intentionally with::
+
+    python - <<'PY'
+    from repro.harness import figures
+    open("tests/golden/fig5.txt", "w").write(figures.render_fig5() + "\\n")
+    PY
+"""
+
+import pathlib
+
+import pytest
+
+from repro.harness import figures
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+RENDERERS = {
+    "fig1b": figures.render_fig1b,
+    "fig2b": figures.render_fig2b,
+    "fig3": figures.render_fig3,
+    "fig4": figures.render_fig4,
+    "fig5": figures.render_fig5,
+}
+
+
+@pytest.mark.parametrize("name", sorted(RENDERERS))
+def test_analytic_artifact_matches_snapshot(name):
+    expected = (GOLDEN_DIR / f"{name}.txt").read_text()
+    assert RENDERERS[name]() + "\n" == expected
+
+
+def test_snapshots_exist_for_every_analytic_figure():
+    assert {path.stem for path in GOLDEN_DIR.glob("*.txt")} == set(RENDERERS)
+
+
+def test_snapshots_carry_the_calibration_anchors():
+    # The frozen artifacts themselves must show the paper's anchors, so a
+    # regenerated-but-wrong snapshot cannot slip through quietly.
+    fig5 = (GOLDEN_DIR / "fig5.txt").read_text()
+    assert "2.590e-07" in fig5          # base rate at Cr = 1
+    assert "2.590e-05" in fig5          # 100x at Cr = 0.25
+    fig1b = (GOLDEN_DIR / "fig1b.txt").read_text()
+    assert "0.5553" in fig1b            # Vsr(0.25) -> the 45% energy anchor

@@ -1,0 +1,105 @@
+"""Line-rate / input-queue analysis (system.linerate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.system.linerate import (
+    QueueResult,
+    loss_curve,
+    simulate_queue,
+    sustainable_cycles_per_packet,
+)
+
+
+class TestSustainableRate:
+    def test_mean_service_time(self):
+        assert sustainable_cycles_per_packet([100.0, 200.0]) == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sustainable_cycles_per_packet([])
+        with pytest.raises(ValueError):
+            sustainable_cycles_per_packet([10.0, 0.0])
+
+
+class TestQueueSimulation:
+    def test_underload_never_drops(self):
+        # Constant 100-cycle service, arrivals every 200 cycles: the
+        # server always idles before the next arrival.
+        result = simulate_queue([100.0] * 50, arrival_interval_cycles=200.0)
+        assert result.dropped_packets == 0
+        assert result.peak_occupancy == 0
+        assert result.goodput_fraction == 1.0
+
+    def test_exact_saturation_keeps_up(self):
+        result = simulate_queue([100.0] * 50, arrival_interval_cycles=100.0)
+        assert result.dropped_packets == 0
+
+    def test_overload_fills_buffer_then_drops(self):
+        # Service 200, arrivals every 100: queue grows by one every two
+        # arrivals; a 4-slot buffer eventually overflows.
+        result = simulate_queue([200.0] * 60,
+                                arrival_interval_cycles=100.0,
+                                buffer_packets=4)
+        assert result.dropped_packets > 0
+        assert result.peak_occupancy == 5  # 4 waiting + 1 in service
+        assert result.loss_rate == pytest.approx(
+            result.dropped_packets / 60)
+
+    def test_burst_absorbed_by_buffer(self):
+        # One slow packet followed by fast ones: the backlog drains.
+        services = [1000.0] + [10.0] * 30
+        result = simulate_queue(services, arrival_interval_cycles=50.0,
+                                buffer_packets=32)
+        assert result.dropped_packets == 0
+        assert result.peak_occupancy > 0
+
+    def test_loss_grows_with_load(self):
+        services = [100.0 + (index % 7) * 30 for index in range(200)]
+        curve = loss_curve(services, [0.5, 1.0, 1.5, 2.0],
+                           buffer_packets=8)
+        losses = [loss for _, loss in curve]
+        assert losses[0] == 0.0
+        assert losses == sorted(losses)
+        assert losses[-1] > 0.2
+
+    @pytest.mark.parametrize("call", [
+        lambda: simulate_queue([], 10.0),
+        lambda: simulate_queue([1.0], 0.0),
+        lambda: simulate_queue([1.0], 10.0, buffer_packets=0),
+        lambda: loss_curve([1.0], []),
+        lambda: loss_curve([1.0], [0.0]),
+    ])
+    def test_validation(self, call):
+        with pytest.raises(ValueError):
+            call()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=1.0, max_value=500.0),
+                    min_size=1, max_size=80),
+           st.floats(min_value=1.0, max_value=500.0))
+    def test_conservation_property(self, services, interval):
+        result = simulate_queue(services, interval, buffer_packets=4)
+        assert (result.served_packets + result.dropped_packets
+                == result.offered_packets)
+        assert 0 <= result.mean_occupancy <= result.peak_occupancy <= 5
+
+
+class TestEndToEnd:
+    def test_overclocking_raises_sustainable_rate(self):
+        nominal = run_experiment(ExperimentConfig(
+            app="route", packet_count=120, cycle_time=1.0, fault_scale=0.0))
+        clumsy = run_experiment(ExperimentConfig(
+            app="route", packet_count=120, cycle_time=0.5, fault_scale=0.0))
+        assert (sustainable_cycles_per_packet(list(clumsy.packet_cycles))
+                < sustainable_cycles_per_packet(list(nominal.packet_cycles)))
+
+    def test_packet_cycles_recorded(self):
+        result = run_experiment(ExperimentConfig(
+            app="crc", packet_count=40, fault_scale=0.0))
+        assert len(result.packet_cycles) == 40
+        assert all(cycles > 0 for cycles in result.packet_cycles)
+        # Excludes the control plane: much less than total cycles.
+        assert sum(result.packet_cycles) < result.cycles

@@ -1,0 +1,110 @@
+"""Comparison metrics (paper Section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    PAPER_EXPONENTS,
+    MetricExponents,
+    energy_delay_fallibility,
+    fallibility_factor,
+    fatal_error_probability,
+    relative_to_baseline,
+)
+
+
+class TestFallibility:
+    def test_fault_free_run_scores_one(self):
+        assert fallibility_factor(0, 100) == 1.0
+
+    def test_all_packets_wrong_scores_two(self):
+        assert fallibility_factor(100, 100) == 2.0
+
+    def test_table1_style_values(self):
+        # crc at Cr=0.5: 1.007 corresponds to 0.7% erroneous packets.
+        assert fallibility_factor(7, 1000) == pytest.approx(1.007)
+
+    def test_fatal_before_first_packet_is_ceiling(self):
+        assert fallibility_factor(0, 0) == 2.0
+
+    def test_more_errors_than_packets_rejected(self):
+        with pytest.raises(ValueError):
+            fallibility_factor(5, 4)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fallibility_factor(-1, 10)
+
+
+class TestFatalProbability:
+    def test_simple_ratio(self):
+        assert fatal_error_probability(1, 500) == pytest.approx(0.002)
+
+    def test_zero_fatals(self):
+        assert fatal_error_probability(0, 300) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fatal_error_probability(1, 0)
+        with pytest.raises(ValueError):
+            fatal_error_probability(5, 4)
+
+
+class TestProduct:
+    def test_paper_exponents_are_1_2_2(self):
+        assert (PAPER_EXPONENTS.energy, PAPER_EXPONENTS.delay,
+                PAPER_EXPONENTS.fallibility) == (1, 2, 2)
+
+    def test_product_formula(self):
+        value = energy_delay_fallibility(2.0, 3.0, 1.5)
+        assert value == pytest.approx(2.0 * 9.0 * 2.25)
+
+    def test_custom_exponents(self):
+        flat = MetricExponents(energy=1, delay=1, fallibility=1)
+        assert energy_delay_fallibility(2.0, 3.0, 1.5, flat) == pytest.approx(
+            9.0)
+
+    def test_fallibility_weighting_dominates_when_squared(self):
+        # Squaring the fallibility is what makes erroneous configurations
+        # lose (Section 5.4's argument against Cr = 0.25).
+        clean = energy_delay_fallibility(1.0, 1.0, 1.0)
+        erroneous = energy_delay_fallibility(0.8, 0.9, 1.5)
+        assert erroneous > clean
+
+    def test_fallibility_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            energy_delay_fallibility(1.0, 1.0, 0.9)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            energy_delay_fallibility(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MetricExponents(energy=-1)
+
+
+class TestNormalisation:
+    def test_relative_value(self):
+        assert relative_to_baseline(76.0, 100.0) == pytest.approx(0.76)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_to_baseline(1.0, 0.0)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=1000))
+    def test_fallibility_bounds(self, errors, packets):
+        errors = min(errors, packets)
+        factor = fallibility_factor(errors, packets)
+        assert 1.0 <= factor <= 2.0
+
+    @given(st.floats(min_value=0.01, max_value=100),
+           st.floats(min_value=0.01, max_value=100),
+           st.floats(min_value=1.0, max_value=2.0))
+    def test_product_monotone_in_each_axis(self, energy, delay, fallibility):
+        base = energy_delay_fallibility(energy, delay, fallibility)
+        assert energy_delay_fallibility(energy * 2, delay, fallibility) > base
+        assert energy_delay_fallibility(energy, delay * 2, fallibility) > base
+        assert (energy_delay_fallibility(energy, delay, 2.0)
+                >= energy_delay_fallibility(energy, delay, fallibility))

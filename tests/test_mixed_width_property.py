@@ -1,0 +1,68 @@
+"""Mixed-width architectural equivalence: MemView vs a flat reference.
+
+Whatever the cache hierarchy does internally (fills, evictions,
+writebacks, LRU), the architectural bytes observed through any mix of
+u8/u16/u32 accesses must match a flat reference memory, fault-free.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import build_test_environment
+
+BASE = 0x1000
+SPAN = 1024  # bytes of the exercised window
+
+operation = st.tuples(
+    st.sampled_from(["r8", "r16", "r32", "w8", "w16", "w32"]),
+    st.integers(min_value=0, max_value=SPAN - 4),
+    st.integers(min_value=0, max_value=2 ** 32 - 1),
+)
+
+
+def aligned(kind: str, offset: int) -> int:
+    width = {"8": 1, "16": 2, "32": 4}[kind[1:]]
+    return offset & ~(width - 1)
+
+
+class TestMixedWidthEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(operation, min_size=1, max_size=250))
+    def test_view_matches_flat_reference(self, operations):
+        env = build_test_environment()
+        view = env.view
+        reference = bytearray(SPAN)
+        for kind, raw_offset, value in operations:
+            offset = aligned(kind, raw_offset)
+            address = BASE + offset
+            width = {"8": 1, "16": 2, "32": 4}[kind[1:]]
+            if kind.startswith("w"):
+                masked = value & ((1 << (8 * width)) - 1)
+                getattr(view, f"write_u{8 * width}")(address, masked)
+                reference[offset:offset + width] = masked.to_bytes(
+                    width, "little")
+            else:
+                got = getattr(view, f"read_u{8 * width}")(address)
+                expected = int.from_bytes(
+                    reference[offset:offset + width], "little")
+                assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(operation, min_size=1, max_size=120))
+    def test_flush_preserves_architectural_state(self, operations):
+        env = build_test_environment()
+        view = env.view
+        reference = bytearray(SPAN)
+        for kind, raw_offset, value in operations:
+            if not kind.startswith("w"):
+                continue
+            offset = aligned(kind, raw_offset)
+            width = {"8": 1, "16": 2, "32": 4}[kind[1:]]
+            masked = value & ((1 << (8 * width)) - 1)
+            getattr(view, f"write_u{8 * width}")(BASE + offset, masked)
+            reference[offset:offset + width] = masked.to_bytes(width,
+                                                               "little")
+        env.hierarchy.l1d.flush()
+        env.hierarchy.l2.flush()
+        assert env.hierarchy.memory.read_block(BASE, SPAN) == bytes(
+            reference)

@@ -1,0 +1,124 @@
+"""Multi-engine network processor (shared L2, private clumsy L1Ds)."""
+
+import pytest
+
+from repro.apps.registry import make_workload
+from repro.core.recovery import NO_DETECTION, TWO_STRIKE
+from repro.system.multicore import (
+    MulticoreSystem,
+    run_multicore,
+)
+
+
+class TestConstruction:
+    def test_engines_share_l2_and_memory(self):
+        workload = make_workload("tl", packet_count=4, seed=1)
+        system = MulticoreSystem(workload, core_count=3)
+        assert len(system.engines) == 3
+        for engine in system.engines:
+            assert engine.env.hierarchy.l2 is system.l2
+            assert engine.env.hierarchy.memory is system.memory
+
+    def test_private_slices_do_not_overlap(self):
+        workload = make_workload("tl", packet_count=4, seed=1)
+        system = MulticoreSystem(workload, core_count=4)
+        system.run()
+        spans = []
+        for engine in system.engines:
+            regions = engine.env.allocator.regions
+            spans.append((min(region.address for region in regions),
+                          max(region.end for region in regions)))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_invalid_core_count_rejected(self):
+        workload = make_workload("tl", packet_count=4, seed=1)
+        with pytest.raises(ValueError):
+            MulticoreSystem(workload, core_count=0)
+
+    def test_shared_l2_requires_shared_memory(self):
+        from repro.cpu.processor import Processor
+        from repro.mem.faults import FaultInjector
+        from repro.mem.hierarchy import MemoryHierarchy
+        from repro.mem.backing import BackingStore
+        from repro.mem.cache import Cache
+        store = BackingStore(1 << 16)
+        l2 = Cache("L2", 1024, 64, 2, store)
+        with pytest.raises(ValueError):
+            MemoryHierarchy(Processor(), FaultInjector(scale=0.0),
+                            shared_l2=l2)
+
+
+class TestExecution:
+    def test_round_robin_dispatch(self):
+        result = run_multicore("tl", core_count=3, packet_count=9,
+                               fault_scale=0.0)
+        assert [core.processed_packets for core in result.cores] == [3, 3, 3]
+
+    def test_uneven_packets_distributed(self):
+        result = run_multicore("tl", core_count=4, packet_count=10,
+                               fault_scale=0.0)
+        assert [core.processed_packets
+                for core in result.cores] == [3, 3, 2, 2]
+
+    def test_fault_free_system_is_clean(self):
+        result = run_multicore("route", core_count=2, packet_count=20,
+                               fault_scale=0.0)
+        assert result.erroneous_packets == 0
+        assert result.fallibility == 1.0
+        assert result.wedged_engines == 0
+
+    def test_deterministic(self):
+        first = run_multicore("crc", core_count=2, packet_count=30,
+                              fault_scale=30.0, cycle_time=0.25)
+        second = run_multicore("crc", core_count=2, packet_count=30,
+                               fault_scale=30.0, cycle_time=0.25)
+        assert first.erroneous_packets == second.erroneous_packets
+        assert first.makespan_cycles == second.makespan_cycles
+
+
+class TestSystemBehaviour:
+    def test_more_engines_raise_throughput(self):
+        single = run_multicore("route", core_count=1, packet_count=80)
+        quad = run_multicore("route", core_count=4, packet_count=80)
+        assert quad.delay_per_packet < single.delay_per_packet
+
+    def test_shared_l2_capacity_contention(self):
+        # Four private working sets pressure the shared L2 harder than one.
+        single = run_multicore("route", core_count=1, packet_count=80)
+        quad = run_multicore("route", core_count=4, packet_count=80)
+        assert quad.l2_miss_rate > single.l2_miss_rate
+
+    def test_energy_scales_with_engines(self):
+        single = run_multicore("tl", core_count=1, packet_count=60)
+        dual = run_multicore("tl", core_count=2, packet_count=60)
+        assert dual.total_energy > single.total_energy
+
+    def test_fatal_wedges_one_engine_only(self):
+        # Hunt a seed where exactly one engine dies; the others must have
+        # kept processing.
+        for seed in range(1, 30):
+            result = run_multicore("tl", core_count=4, packet_count=120,
+                                   seed=seed, cycle_time=0.25,
+                                   fault_scale=60.0)
+            if 0 < result.wedged_engines < 4:
+                survivors = [core for core in result.cores if not core.fatal]
+                assert survivors
+                assert all(core.processed_packets > 0 for core in survivors)
+                break
+        else:
+            pytest.skip("no partial-wedge seed found in the search range")
+
+    def test_detection_protects_the_system(self):
+        errors = {policy.name: run_multicore(
+            "md5", core_count=2, packet_count=60, cycle_time=0.25,
+            fault_scale=30.0, policy=policy).erroneous_packets
+            for policy in (NO_DETECTION, TWO_STRIKE)}
+        assert errors["two-strike"] <= errors["no-detection"]
+
+    def test_product_composes(self):
+        result = run_multicore("tl", core_count=2, packet_count=40)
+        expected = (result.total_energy * result.delay_per_packet ** 2
+                    * result.fallibility ** 2)
+        assert result.product() == pytest.approx(expected)

@@ -1,0 +1,212 @@
+"""IPv4 substrate: headers, checksum, packets, trace generators."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import (
+    IPV4_HEADER_BYTES,
+    Ipv4Header,
+    int_to_ip,
+    internet_checksum,
+    ip_to_int,
+    parse_header,
+    verify_checksum,
+)
+from repro.net.packet import Packet
+from repro.net.trace import (
+    RoutePrefix,
+    address_in_prefix,
+    flow_trace,
+    http_trace,
+    make_http_paths,
+    make_prefixes,
+    routed_trace,
+    uniform_trace,
+)
+
+
+class TestAddresses:
+    def test_roundtrip(self):
+        assert int_to_ip(ip_to_int("192.168.1.200")) == "192.168.1.200"
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "1.2.3.256"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestChecksum:
+    def test_matches_independent_reference(self):
+        # Independent end-around-carry implementation as the oracle.
+        def reference(data):
+            if len(data) % 2:
+                data += b"\x00"
+            total = sum((data[i] << 8) | data[i + 1]
+                        for i in range(0, len(data), 2))
+            while total > 0xFFFF:
+                total = (total & 0xFFFF) + (total >> 16)
+            return ~total & 0xFFFF
+        rng = random.Random(17)
+        for _ in range(50):
+            data = rng.randbytes(rng.randrange(0, 41))
+            assert internet_checksum(data) == reference(data)
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_checksum_of_valid_header_is_zero(self):
+        header = Ipv4Header(source=1, destination=2).pack()
+        assert internet_checksum(header) == 0
+        assert verify_checksum(header)
+
+    def test_corruption_breaks_verification(self):
+        header = bytearray(Ipv4Header(source=1, destination=2).pack())
+        header[8] ^= 0x40
+        assert not verify_checksum(bytes(header))
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_checksum_bounded(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestHeader:
+    def test_pack_parse_roundtrip(self):
+        header = Ipv4Header(source=ip_to_int("1.2.3.4"),
+                            destination=ip_to_int("5.6.7.8"),
+                            ttl=17, protocol=6, identification=99,
+                            total_length=60)
+        parsed = parse_header(header.pack())
+        assert parsed == header
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_header(b"\x45" * 10)
+
+    def test_non_ihl5_rejected(self):
+        data = bytearray(Ipv4Header(source=1, destination=2).pack())
+        data[0] = 0x46
+        with pytest.raises(ValueError):
+            parse_header(bytes(data))
+
+
+class TestPacket:
+    def test_wire_bytes_layout(self):
+        packet = Packet(source=1, destination=2, payload=b"xyz")
+        wire = packet.wire_bytes
+        assert len(wire) == IPV4_HEADER_BYTES + 3
+        assert wire[-3:] == b"xyz"
+        assert verify_checksum(wire[:IPV4_HEADER_BYTES])
+
+    def test_header_reflects_fields(self):
+        packet = Packet(source=1, destination=2, ttl=9, protocol=6)
+        assert packet.header.ttl == 9
+        assert packet.header.total_length == packet.length
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(source=-1, destination=0),
+        dict(source=0, destination=1 << 32),
+        dict(source=0, destination=0, ttl=300)])
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Packet(**kwargs)
+
+
+class TestPrefixes:
+    def test_default_route_included(self):
+        prefixes = make_prefixes(10)
+        assert prefixes[0].length == 0
+        assert len(prefixes) == 11
+
+    def test_prefixes_distinct(self):
+        prefixes = make_prefixes(50, seed=3)
+        assert len({(p.network, p.length) for p in prefixes}) == 51
+
+    def test_no_host_bits_set(self):
+        for prefix in make_prefixes(50, seed=1):
+            if prefix.length < 32:
+                host_mask = (1 << (32 - prefix.length)) - 1
+                assert prefix.network & host_mask == 0
+
+    def test_matches_semantics(self):
+        prefix = RoutePrefix(network=0xC0A80000, length=16, next_hop=3)
+        assert prefix.matches(0xC0A81234)
+        assert not prefix.matches(0xC0A90000)
+        assert RoutePrefix(network=0, length=0, next_hop=1).matches(12345)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RoutePrefix(network=0xC0A80001, length=16, next_hop=1)
+
+    def test_addresses_drawn_inside_prefix(self):
+        rng = random.Random(0)
+        prefix = RoutePrefix(network=0xC0A80000, length=16, next_hop=1)
+        for _ in range(100):
+            assert prefix.matches(address_in_prefix(prefix, rng))
+
+
+class TestTraces:
+    def test_deterministic_by_seed(self):
+        prefixes = make_prefixes(8, seed=2)
+        assert (routed_trace(20, prefixes, seed=5)
+                == routed_trace(20, prefixes, seed=5))
+        assert (routed_trace(20, prefixes, seed=5)
+                != routed_trace(20, prefixes, seed=6))
+
+    def test_routed_destinations_covered_by_prefixes(self):
+        prefixes = make_prefixes(8, seed=2)
+        for packet in routed_trace(50, prefixes, seed=5):
+            assert any(prefix.matches(packet.destination)
+                       for prefix in prefixes)
+
+    def test_uniform_trace_payload_size(self):
+        assert all(len(packet.payload) == 37
+                   for packet in uniform_trace(10, seed=1, payload_bytes=37))
+
+    def test_flow_trace_reuses_flow_endpoints(self):
+        prefixes = make_prefixes(8, seed=2)
+        packets = flow_trace(100, flow_count=4, prefixes=prefixes, seed=9)
+        by_flow = {}
+        for packet in packets:
+            by_flow.setdefault(packet.flow_id,
+                               set()).add((packet.source,
+                                           packet.destination))
+        assert all(len(endpoints) == 1 for endpoints in by_flow.values())
+        assert all(0 <= packet.flow_id < 4 for packet in packets)
+
+    def test_flow_sources_are_private(self):
+        prefixes = make_prefixes(8, seed=2)
+        packets = flow_trace(50, flow_count=4, prefixes=prefixes, seed=9)
+        assert all(packet.source >> 24 == 10 for packet in packets)
+
+    def test_http_trace_carries_get_requests(self):
+        prefixes = make_prefixes(4, seed=2)
+        paths = make_http_paths(6, seed=3)
+        packets = http_trace(30, prefixes, seed=3, paths=paths)
+        for packet in packets:
+            text = packet.payload.decode("ascii")
+            assert text.startswith("GET /")
+            assert packet.metadata["path"] in paths
+
+    def test_http_paths_deterministic(self):
+        assert make_http_paths(5, seed=1) == make_http_paths(5, seed=1)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: uniform_trace(0),
+        lambda: routed_trace(0, make_prefixes(2)),
+        lambda: flow_trace(10, 0, make_prefixes(2)),
+        lambda: http_trace(0, make_prefixes(2)),
+        lambda: make_prefixes(0),
+        lambda: make_http_paths(0),
+    ])
+    def test_degenerate_requests_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory()

@@ -1,0 +1,152 @@
+"""Noise distributions and SRAM immunity curves (paper Eqs 2-3, Figure 2b)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import constants
+from repro.core.noise import (
+    NoiseAmplitudeDistribution,
+    NoiseDurationDistribution,
+    NoiseImmunityModel,
+    failure_probability,
+)
+
+
+class TestAmplitudeDistribution:
+    def test_pdf_matches_paper_equation_two(self):
+        dist = NoiseAmplitudeDistribution()
+        assert dist.pdf(0.0) == pytest.approx(constants.NOISE_AMPLITUDE_RATE)
+        assert dist.pdf(0.1) == pytest.approx(
+            28.8 * math.exp(-2.88), rel=1e-9)
+
+    def test_survival_complements_cdf(self):
+        dist = NoiseAmplitudeDistribution()
+        assert dist.survival(0.0) == 1.0
+        assert dist.survival(0.5) == pytest.approx(math.exp(-14.4))
+
+    def test_pdf_zero_for_negative_amplitude(self):
+        assert NoiseAmplitudeDistribution().pdf(-1.0) == 0.0
+
+    def test_sampling_matches_mean(self):
+        dist = NoiseAmplitudeDistribution()
+        rng = random.Random(42)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            1.0 / dist.rate, rel=0.05)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseAmplitudeDistribution(rate=0.0)
+
+    def test_pdf_integrates_to_one(self):
+        dist = NoiseAmplitudeDistribution()
+        step = 0.001
+        total = sum(dist.pdf((i + 0.5) * step) * step for i in range(1000))
+        assert total == pytest.approx(1.0, abs=0.01)
+
+
+class TestDurationDistribution:
+    def test_uniform_inside_support(self):
+        dist = NoiseDurationDistribution()
+        assert dist.pdf(0.05) == pytest.approx(10.0)
+
+    def test_zero_outside_support(self):
+        dist = NoiseDurationDistribution()
+        assert dist.pdf(0.0) == 0.0
+        assert dist.pdf(0.1) == 0.0  # Eq (3): P(Dr) = 0 for 0.1 <= Dr
+        assert dist.pdf(0.2) == 0.0
+
+    def test_samples_within_support(self):
+        dist = NoiseDurationDistribution()
+        rng = random.Random(7)
+        assert all(0.0 <= dist.sample(rng) < dist.maximum
+                   for _ in range(1000))
+
+    def test_invalid_maximum_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseDurationDistribution(maximum=-0.1)
+
+
+class TestImmunityModel:
+    def test_margin_shrinks_with_swing(self):
+        model = NoiseImmunityModel()
+        assert model.margin(1.0) > model.margin(0.5)
+
+    def test_short_pulses_need_larger_amplitude(self):
+        model = NoiseImmunityModel()
+        assert (model.critical_amplitude(0.01, 1.0)
+                > model.critical_amplitude(0.09, 1.0))
+
+    def test_zero_duration_pulse_never_fails(self):
+        assert NoiseImmunityModel().critical_amplitude(0.0, 1.0) == math.inf
+
+    def test_curve_ordering_matches_figure_2b(self):
+        # Lower swings sit below: easier to flip at every duration.
+        model = NoiseImmunityModel()
+        high = dict(model.immunity_curve(1.0, points=10))
+        low = dict(model.immunity_curve(0.6, points=10))
+        assert all(low[duration] < high[duration] for duration in high)
+
+    def test_swing_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseImmunityModel().margin(0.0)
+        with pytest.raises(ValueError):
+            NoiseImmunityModel().margin(1.5)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseImmunityModel(margin_slope=-1.0)
+        with pytest.raises(ValueError):
+            NoiseImmunityModel(duration_coefficient=-0.1)
+
+
+class TestFailureProbability:
+    def test_decreases_with_swing(self):
+        model = NoiseImmunityModel()
+        assert (failure_probability(model, 0.6)
+                > failure_probability(model, 0.9)
+                > failure_probability(model, 1.0))
+
+    def test_bounded_probability(self):
+        model = NoiseImmunityModel()
+        for swing in (0.3, 0.6, 1.0):
+            assert 0.0 <= failure_probability(model, swing) <= 1.0
+
+    def test_integration_converges(self):
+        model = NoiseImmunityModel()
+        coarse = failure_probability(model, 0.8, steps=100)
+        fine = failure_probability(model, 0.8, steps=2000)
+        assert coarse == pytest.approx(fine, rel=0.02)
+
+    def test_monte_carlo_agreement(self):
+        # The midpoint integral must agree with direct simulation of the
+        # noise process (sample a pulse, check it clears the curve).
+        model = NoiseImmunityModel(margin_offset=0.02, margin_slope=0.08,
+                                   duration_coefficient=0.002)
+        amplitude = NoiseAmplitudeDistribution()
+        duration = NoiseDurationDistribution()
+        analytic = failure_probability(model, 0.7, amplitude, duration)
+        rng = random.Random(123)
+        trials = 40000
+        hits = 0
+        for _ in range(trials):
+            pulse_duration = duration.sample(rng)
+            pulse_amplitude = amplitude.sample(rng)
+            if pulse_amplitude > model.critical_amplitude(pulse_duration, 0.7):
+                hits += 1
+        assert hits / trials == pytest.approx(analytic, rel=0.15)
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            failure_probability(NoiseImmunityModel(), 0.8, steps=0)
+
+    @given(st.floats(min_value=0.3, max_value=1.0),
+           st.floats(min_value=0.3, max_value=1.0))
+    def test_monotone_in_swing(self, a, b):
+        model = NoiseImmunityModel()
+        low, high = sorted((a, b))
+        assert (failure_probability(model, low, steps=50)
+                >= failure_probability(model, high, steps=50) - 1e-15)

@@ -1,0 +1,150 @@
+"""Analytic operating-point model and workload profiling."""
+
+import pytest
+
+from repro.core.optimum import OperatingPointModel, PredictedPoint
+from repro.core.recovery import NO_DETECTION, ONE_STRIKE, SECDED, TWO_STRIKE
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.harness.profile import WorkloadProfile, profile_workload
+
+
+ROUTE_LIKE = WorkloadProfile(
+    app="route", packets=200,
+    instructions_per_packet=450.0,
+    loads_per_packet=95.0,
+    stores_per_packet=45.0,
+    l1_fills_per_packet=7.5,
+    l2_fills_per_packet=0.5,
+    writebacks_per_packet=2.5,
+)
+
+
+class TestProfiling:
+    def test_profile_matches_run_statistics(self):
+        profile = profile_workload("route", packet_count=100)
+        assert profile.app == "route"
+        assert profile.packets == 100
+        assert profile.loads_per_packet > profile.stores_per_packet
+        assert 0.0 < profile.l1_miss_rate < 0.2
+
+    def test_profile_is_deterministic(self):
+        first = profile_workload("tl", packet_count=50)
+        second = profile_workload("tl", packet_count=50)
+        assert first == second
+
+    def test_accesses_helper(self):
+        assert ROUTE_LIKE.accesses_per_packet == pytest.approx(140.0)
+        assert ROUTE_LIKE.l1_miss_rate == pytest.approx(7.5 / 140.0)
+
+
+class TestDelayPrediction:
+    def test_matches_simulator_exactly_when_fault_free(self):
+        profile = profile_workload("route", packet_count=150)
+        model = OperatingPointModel(profile, fault_scale=0.0)
+        for cycle_time in (1.0, 0.75, 0.5, 0.25):
+            simulated = run_experiment(ExperimentConfig(
+                app="route", packet_count=150, cycle_time=cycle_time,
+                fault_scale=0.0))
+            assert model.delay(cycle_time) == pytest.approx(
+                simulated.delay_per_packet, rel=1e-6)
+
+    def test_load_use_floor(self):
+        model = OperatingPointModel(ROUTE_LIKE)
+        assert model.delay(0.5) == pytest.approx(model.delay(0.25))
+        assert model.delay(0.75) > model.delay(0.5)
+
+    def test_invalid_cycle_time_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingPointModel(ROUTE_LIKE).delay(0.0)
+
+
+class TestEnergyPrediction:
+    def test_matches_simulator_when_fault_free(self):
+        profile = profile_workload("tl", packet_count=150)
+        model = OperatingPointModel(profile, fault_scale=0.0)
+        simulated = run_experiment(ExperimentConfig(
+            app="tl", packet_count=150, cycle_time=0.5, fault_scale=0.0))
+        predicted_total = model.energy(0.5) * simulated.processed_packets
+        assert predicted_total == pytest.approx(simulated.energy["total"],
+                                                rel=0.02)
+
+    def test_energy_falls_with_overclocking(self):
+        model = OperatingPointModel(ROUTE_LIKE)
+        assert model.energy(0.25) < model.energy(0.5) < model.energy(1.0)
+
+    def test_protection_code_raises_energy(self):
+        plain = OperatingPointModel(ROUTE_LIKE, policy=NO_DETECTION)
+        parity = OperatingPointModel(ROUTE_LIKE, policy=TWO_STRIKE)
+        secded = OperatingPointModel(ROUTE_LIKE, policy=SECDED)
+        assert plain.energy(0.5) < parity.energy(0.5) < secded.energy(0.5)
+
+
+class TestFallibilityPrediction:
+    def test_grows_with_clock(self):
+        model = OperatingPointModel(ROUTE_LIKE, fault_scale=20.0)
+        assert (model.fallibility(1.0) < model.fallibility(0.5)
+                < model.fallibility(0.25))
+
+    def test_saturates_at_two(self):
+        model = OperatingPointModel(ROUTE_LIKE, fault_scale=1e9)
+        assert model.fallibility(0.25) == 2.0
+
+    def test_detection_absorbs_single_bit_share(self):
+        exposed = OperatingPointModel(ROUTE_LIKE, fault_scale=20.0,
+                                      policy=NO_DETECTION)
+        protected = OperatingPointModel(ROUTE_LIKE, fault_scale=20.0,
+                                        policy=TWO_STRIKE)
+        halfway = OperatingPointModel(ROUTE_LIKE, fault_scale=20.0,
+                                      policy=ONE_STRIKE)
+        assert (protected.fallibility(0.25) < halfway.fallibility(0.25)
+                < exposed.fallibility(0.25))
+
+    def test_calibration_pins_observed_point(self):
+        model = OperatingPointModel(ROUTE_LIKE, fault_scale=20.0)
+        calibrated = model.calibrate_conversion(1.4, at_cycle_time=0.25)
+        assert calibrated.fallibility(0.25) == pytest.approx(1.4)
+
+    def test_calibration_validation(self):
+        model = OperatingPointModel(ROUTE_LIKE, fault_scale=20.0)
+        with pytest.raises(ValueError):
+            model.calibrate_conversion(0.9, at_cycle_time=0.25)
+        fault_free = OperatingPointModel(ROUTE_LIKE, fault_scale=0.0)
+        with pytest.raises(ValueError):
+            fault_free.calibrate_conversion(1.1, at_cycle_time=0.25)
+
+
+class TestOptimum:
+    def test_curve_and_grid_validation(self):
+        model = OperatingPointModel(ROUTE_LIKE)
+        assert len(model.curve(points=10)) == 10
+        with pytest.raises(ValueError):
+            model.curve(points=1)
+        with pytest.raises(ValueError):
+            model.curve(low=0.5, high=0.25)
+
+    def test_fault_free_optimum_is_fastest_clock(self):
+        # Without errors, faster is strictly better (energy and delay
+        # both fall, then plateau): the optimum is the aggressive end.
+        model = OperatingPointModel(ROUTE_LIKE, fault_scale=0.0)
+        assert model.optimum().cycle_time == pytest.approx(0.25)
+
+    def test_calibrated_optimum_matches_paper_operating_point(self):
+        # The headline use: one simulated point at Cr = 0.25 calibrates
+        # the conversion; the analytic optimum lands at the paper's
+        # Cr ~ 0.5 sweet spot.
+        profile = profile_workload("route", packet_count=150)
+        observed = run_experiment(ExperimentConfig(
+            app="route", packet_count=150, cycle_time=0.25,
+            policy=NO_DETECTION, fault_scale=20.0))
+        model = OperatingPointModel(profile, policy=NO_DETECTION,
+                                    fault_scale=20.0)
+        calibrated = model.calibrate_conversion(observed.fallibility, 0.25)
+        best = calibrated.optimum()
+        assert 0.4 <= best.cycle_time <= 0.65
+
+    def test_predicted_point_fields(self):
+        point = OperatingPointModel(ROUTE_LIKE).predict(0.5)
+        assert isinstance(point, PredictedPoint)
+        assert point.product == pytest.approx(
+            point.energy * point.delay_cycles ** 2 * point.fallibility ** 2)

@@ -1,0 +1,39 @@
+"""Parallel experiment runner."""
+
+import pytest
+
+from repro.core.recovery import TWO_STRIKE
+from repro.harness.config import ExperimentConfig
+from repro.harness.parallel import run_experiments
+
+
+def configs(count=3):
+    return [ExperimentConfig(app="tl", packet_count=40, seed=seed,
+                             cycle_time=0.25, policy=TWO_STRIKE,
+                             fault_scale=30.0)
+            for seed in range(1, count + 1)]
+
+
+class TestRunExperiments:
+    def test_serial_results_in_input_order(self):
+        results = run_experiments(configs(), max_workers=1)
+        assert [result.config.seed for result in results] == [1, 2, 3]
+
+    def test_parallel_matches_serial(self):
+        serial = run_experiments(configs(), max_workers=1)
+        parallel = run_experiments(configs(), max_workers=2)
+        for reference, candidate in zip(serial, parallel):
+            assert candidate.erroneous_packets == reference.erroneous_packets
+            assert candidate.cycles == reference.cycles
+            assert candidate.energy == reference.energy
+            assert candidate.category_errors == reference.category_errors
+
+    def test_single_config_runs_inline(self):
+        [result] = run_experiments(configs(1), max_workers=8)
+        assert result.config.seed == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_experiments([], max_workers=1)
+        with pytest.raises(ValueError):
+            run_experiments(configs(1), max_workers=0)

@@ -1,0 +1,217 @@
+"""Radix routing tree and NAT hash table (in simulated memory)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.hashtable import HashTable
+from repro.apps.radix import LOOKUP_WATCHDOG_LIMIT, RadixTree
+from repro.cpu.watchdog import FatalExecutionError
+from repro.net.trace import RoutePrefix, make_prefixes
+from tests.conftest import build_test_environment
+
+
+def longest_prefix_match_oracle(prefixes, destination):
+    """Reference LPM by linear scan."""
+    best = None
+    for prefix in prefixes:
+        if prefix.matches(destination):
+            if best is None or prefix.length > best.length:
+                best = prefix
+    return best
+
+
+def build_tree(env, prefixes, **kwargs):
+    tree = RadixTree(env, max_nodes=4096, max_entries=len(prefixes),
+                     **kwargs)
+    tree.build(prefixes)
+    return tree
+
+
+class TestRadixLookup:
+    def test_exact_prefix_hit(self, env):
+        prefixes = [RoutePrefix(0, 0, 1),
+                    RoutePrefix(0xC0A80000, 16, 42)]
+        tree = build_tree(env, prefixes)
+        assert tree.lookup(0xC0A80101).next_hop == 42
+
+    def test_default_route_fallback(self, env):
+        prefixes = [RoutePrefix(0, 0, 7),
+                    RoutePrefix(0xC0A80000, 16, 42)]
+        tree = build_tree(env, prefixes)
+        assert tree.lookup(0x08080808).next_hop == 7
+
+    def test_longest_prefix_wins(self, env):
+        prefixes = [RoutePrefix(0, 0, 1),
+                    RoutePrefix(0xC0000000, 8, 2),
+                    RoutePrefix(0xC0A80000, 16, 3),
+                    RoutePrefix(0xC0A80100, 24, 4)]
+        tree = build_tree(env, prefixes)
+        assert tree.lookup(0xC0A80155).next_hop == 4
+        assert tree.lookup(0xC0A82233).next_hop == 3
+        assert tree.lookup(0xC0FF0000).next_hop == 2
+
+    def test_matches_oracle_on_random_tables(self, env):
+        rng = random.Random(4)
+        prefixes = make_prefixes(60, seed=8)
+        tree = build_tree(env, prefixes)
+        for _ in range(300):
+            destination = rng.getrandbits(32)
+            oracle = longest_prefix_match_oracle(prefixes, destination)
+            assert tree.lookup(destination).next_hop == oracle.next_hop
+
+    def test_entry_words_expose_route_entry(self, env):
+        prefixes = [RoutePrefix(0, 0, 1), RoutePrefix(0xC0A80000, 16, 42)]
+        tree = build_tree(env, prefixes)
+        result = tree.lookup(0xC0A80101)
+        assert result.entry_words == (0xC0A80000, 16, 42)
+
+    def test_path_digest_is_stable_and_destination_sensitive(self, env):
+        prefixes = make_prefixes(20, seed=8)
+        tree = build_tree(env, prefixes)
+        a = tree.lookup(0xC0A80101)
+        b = tree.lookup(0xC0A80101)
+        assert a.path_digest == b.path_digest
+        other = tree.lookup(0x3FFFFFFF)
+        assert (other.path_digest != a.path_digest
+                or other.nodes_visited != a.nodes_visited)
+
+    def test_walk_length_bounded_by_prefix_depth(self, env):
+        prefixes = make_prefixes(40, seed=8, max_length=24)
+        tree = build_tree(env, prefixes)
+        result = tree.lookup(0xDEADBEEF)
+        assert result.nodes_visited <= 25
+
+
+class TestRadixCorruption:
+    def test_corrupted_entry_changes_next_hop_only(self, env):
+        prefixes = [RoutePrefix(0, 0, 1), RoutePrefix(0xC0A80000, 16, 42)]
+        tree = build_tree(env, prefixes)
+        result = tree.lookup(0xC0A80101)
+        entry_address = tree.entries.address + 16  # second entry, next_hop
+        env.view.write_u32(entry_address + 8, 99)
+        assert tree.lookup(0xC0A80101).next_hop == 99
+
+    def test_garbage_bit_index_terminates_walk(self, env):
+        # A corrupted child pointer into arbitrary memory reads a word
+        # whose bit index exceeds 31 -> the walk treats it as a leaf
+        # instead of chasing garbage (the FreeBSD leaf convention).
+        prefixes = [RoutePrefix(0, 0, 1), RoutePrefix(0xC0A80000, 16, 42)]
+        tree = build_tree(env, prefixes)
+        root = tree.nodes.address
+        scratch = env.allocator.alloc("garbage", 16)
+        env.view.write_u32(scratch.address, 0xFFFF)  # bit index > 31
+        bit = (0xC0A80101 >> 31) & 1
+        env.view.write_u32(root + (8 if bit else 4), scratch.address)
+        result = tree.lookup(0xC0A80101)
+        assert result.next_hop == 1  # fell back to the root's default
+        assert result.nodes_visited == 2
+
+    def test_pointer_cycle_trips_watchdog(self, env):
+        prefixes = [RoutePrefix(0, 0, 1), RoutePrefix(0xC0A80000, 16, 42)]
+        tree = build_tree(env, prefixes)
+        root = tree.nodes.address
+        # Point the root's children back at the root: a corruption cycle.
+        env.view.write_u32(root + 4, root)
+        env.view.write_u32(root + 8, root)
+        with pytest.raises(FatalExecutionError):
+            tree.lookup(0xC0A80101)
+
+    def test_watchdog_limit_covers_legal_walks(self):
+        assert LOOKUP_WATCHDOG_LIMIT > 33
+
+
+class TestRadixCapacity:
+    def test_node_pool_exhaustion(self, env):
+        tree = RadixTree(env, max_nodes=3, max_entries=8)
+        with pytest.raises(MemoryError):
+            tree.build([RoutePrefix(0, 0, 1),
+                        RoutePrefix(0xC0A80000, 16, 42)])
+
+    def test_entry_pool_exhaustion(self, env):
+        tree = RadixTree(env, max_nodes=64, max_entries=1)
+        with pytest.raises(MemoryError):
+            tree.build([RoutePrefix(0, 0, 1),
+                        RoutePrefix(0x80000000, 1, 2)])
+
+    def test_invalid_capacities_rejected(self, env):
+        with pytest.raises(ValueError):
+            RadixTree(env, max_nodes=0, max_entries=1)
+
+
+class TestRadixProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=10_000))
+    def test_always_matches_oracle(self, destination, seed):
+        env = build_test_environment()
+        prefixes = make_prefixes(25, seed=seed)
+        tree = build_tree(env, prefixes)
+        oracle = longest_prefix_match_oracle(prefixes, destination)
+        assert tree.lookup(destination).next_hop == oracle.next_hop
+
+
+class TestHashTable:
+    def test_insert_lookup(self, env):
+        table = HashTable(env, capacity=64)
+        table.insert(0x0A000001, 0xC6120001, interface=3)
+        result = table.lookup(0x0A000001)
+        assert result.found
+        assert result.value == 0xC6120001
+        assert result.interface == 3
+
+    def test_miss(self, env):
+        table = HashTable(env, capacity=64)
+        table.insert(1, 2, 3)
+        assert not table.lookup(99).found
+
+    def test_overwrite_updates_in_place(self, env):
+        table = HashTable(env, capacity=64)
+        table.insert(5, 10, 1)
+        table.insert(5, 20, 2)
+        result = table.lookup(5)
+        assert (result.value, result.interface) == (20, 2)
+        assert table.occupied == 1
+
+    def test_collision_chains_resolve(self, env):
+        table = HashTable(env, capacity=16)
+        keys = list(range(1, 12))
+        for key in keys:
+            table.insert(key, key * 100, key % 4)
+        for key in keys:
+            result = table.lookup(key)
+            assert result.found and result.value == key * 100
+
+    def test_capacity_limit(self, env):
+        table = HashTable(env, capacity=4)
+        table.insert(1, 1, 1)
+        table.insert(2, 2, 2)
+        table.insert(3, 3, 3)
+        with pytest.raises(MemoryError):
+            table.insert(4, 4, 4)
+
+    def test_invalid_capacity_rejected(self, env):
+        with pytest.raises(ValueError):
+            HashTable(env, capacity=48)
+
+    def test_probe_digest_reflects_reads(self, env):
+        table = HashTable(env, capacity=64)
+        table.insert(7, 70, 1)
+        first = table.lookup(7)
+        second = table.lookup(7)
+        assert first.probe_digest == second.probe_digest
+        assert first.probes >= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.dictionaries(st.integers(min_value=1, max_value=2 ** 32 - 1),
+                           st.integers(min_value=0, max_value=2 ** 32 - 1),
+                           min_size=1, max_size=40))
+    def test_property_matches_dict(self, mapping):
+        env = build_test_environment()
+        table = HashTable(env, capacity=128)
+        for key, value in mapping.items():
+            table.insert(key, value, interface=value % 7)
+        for key, value in mapping.items():
+            result = table.lookup(key)
+            assert result.found and result.value == value

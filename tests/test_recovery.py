@@ -1,0 +1,65 @@
+"""Detection/recovery policies (paper Section 4)."""
+
+import pytest
+
+from repro.core.recovery import (
+    ALL_POLICIES,
+    NO_DETECTION,
+    ONE_STRIKE,
+    THREE_STRIKE,
+    TWO_STRIKE,
+    RecoveryPolicy,
+    policy_by_name,
+)
+
+
+class TestPaperPolicies:
+    def test_four_schemes_in_paper_order(self):
+        assert [policy.name for policy in ALL_POLICIES] == [
+            "no-detection", "one-strike", "two-strike", "three-strike"]
+
+    def test_strike_counts(self):
+        assert NO_DETECTION.strikes == 0
+        assert ONE_STRIKE.strikes == 1
+        assert TWO_STRIKE.strikes == 2
+        assert THREE_STRIKE.strikes == 3
+
+    def test_detection_flag(self):
+        assert not NO_DETECTION.detects_faults
+        assert all(policy.detects_faults for policy in ALL_POLICIES[1:])
+
+    def test_retry_budget(self):
+        # one-strike invalidates immediately; three-strike retries twice.
+        assert ONE_STRIKE.max_retries == 0
+        assert TWO_STRIKE.max_retries == 1
+        assert THREE_STRIKE.max_retries == 2
+        assert NO_DETECTION.max_retries == 0
+
+
+class TestLookup:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_round_trip_by_name(self, policy):
+        assert policy_by_name(policy.name) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown recovery policy"):
+            policy_by_name("four-strike")
+
+
+class TestValidation:
+    def test_negative_strikes_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy("bogus", strikes=-1)
+
+    def test_zero_strikes_reserved_for_no_detection(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy("silent", strikes=0, code="none")
+        with pytest.raises(ValueError):
+            RecoveryPolicy("half-armed", strikes=0)  # parity needs strikes
+        assert RecoveryPolicy("no-detection", strikes=0,
+                              code="none").strikes == 0
+
+    def test_custom_deeper_policy_allowed(self):
+        # The scheme generalises beyond the paper's three strikes.
+        policy = RecoveryPolicy("five-strike", strikes=5)
+        assert policy.max_retries == 4

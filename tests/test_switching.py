@@ -1,0 +1,134 @@
+"""Switching-combination analysis (paper Figure 3, Eq. (1))."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.switching import (
+    ExponentialFit,
+    amplitude_histogram,
+    fit_exponential,
+    is_saturated,
+    normalized_density,
+    switching_combination_counts,
+)
+
+
+class TestCombinationCounts:
+    def test_single_line(self):
+        # One line: +1 one way, -1 one way, 0 two ways.
+        assert switching_combination_counts(1) == [1, 2, 1]
+
+    def test_total_is_four_to_the_n(self):
+        # The paper's 2^(2n) switching combinations.
+        for lines in (1, 2, 5, 9):
+            assert sum(switching_combination_counts(lines)) == 4 ** lines
+
+    def test_symmetric_in_sign(self):
+        counts = switching_combination_counts(6)
+        assert counts == counts[::-1]
+
+    def test_worst_case_is_unique_per_direction(self):
+        # Only one combination reaches the worst-case amplitude each way.
+        counts = switching_combination_counts(7)
+        assert counts[0] == 1
+        assert counts[-1] == 1
+
+    def test_invalid_line_count_rejected(self):
+        with pytest.raises(ValueError):
+            switching_combination_counts(0)
+
+
+class TestHistogram:
+    def test_amplitudes_normalised_to_worst_case(self):
+        histogram = amplitude_histogram(4)
+        amplitudes = [amplitude for amplitude, _ in histogram]
+        assert amplitudes[0] == 0.0
+        assert amplitudes[-1] == 1.0
+
+    def test_counts_decrease_with_amplitude(self):
+        # The cancellation argument of Section 3: small amplitudes vastly
+        # outnumber large ones (beyond the zero bin).
+        histogram = amplitude_histogram(10)
+        tail = [count for _, count in histogram[1:]]
+        assert all(b < a for a, b in zip(tail, tail[1:]))
+
+    def test_folding_preserves_total(self):
+        lines = 6
+        assert (sum(count for _, count in amplitude_histogram(lines))
+                == 4 ** lines)
+
+
+class TestExponentialFit:
+    def test_fit_recovers_exact_exponential(self):
+        histogram = [(i / 10, int(round(1000 * math.exp(-3.0 * i / 10))))
+                     for i in range(10)]
+        fit = fit_exponential(histogram)
+        assert fit.k2 == pytest.approx(3.0, rel=0.05)
+        assert fit.k1 == pytest.approx(1000, rel=0.1)
+
+    def test_fit_on_real_histogram_decays(self):
+        fit = fit_exponential(amplitude_histogram(12))
+        assert fit.k2 > 0
+        assert fit.k1 > 0
+
+    def test_fit_quality_on_tail(self):
+        # Eq (1): "this distribution can be approximated very well by an
+        # exponential" -- check log-space residuals stay moderate.
+        histogram = amplitude_histogram(16)
+        fit = fit_exponential(histogram)
+        for amplitude, count in histogram[1:-2]:
+            predicted = fit.evaluate(amplitude)
+            assert 0.05 < predicted / count < 20
+
+    def test_evaluate(self):
+        fit = ExponentialFit(k1=2.0, k2=1.0)
+        assert fit.evaluate(0.0) == pytest.approx(2.0)
+        assert fit.evaluate(1.0) == pytest.approx(2.0 / math.e)
+
+    def test_insufficient_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([(0.1, 5)])
+
+    def test_degenerate_amplitudes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([(0.1, 5), (0.1, 7)])
+
+
+class TestDensityConvergence:
+    def test_density_normalises(self):
+        lines = 12
+        density = normalized_density(lines)
+        mass = sum(value for _, value in density) / lines
+        assert mass == pytest.approx(1.0, rel=1e-9)
+
+    def test_saturation_threshold(self):
+        assert not is_saturated(16)
+        assert is_saturated(17)
+
+    def test_large_n_concentrates_near_origin(self):
+        # For many coupled lines essentially all probability mass sits at
+        # small amplitudes (the Eq-(2) regime).
+        density = dict(normalized_density(24))
+        bin_width = 1.0 / 24
+        mass_below_quarter = sum(
+            value * bin_width for amplitude, value in density.items()
+            if amplitude <= 0.25)
+        assert mass_below_quarter > 0.9
+
+
+class TestProperties:
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_counts_always_positive_and_symmetric(self, lines):
+        counts = switching_combination_counts(lines)
+        assert len(counts) == 2 * lines + 1
+        assert all(count > 0 for count in counts)
+        assert counts == counts[::-1]
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=18))
+    def test_histogram_monotone_tail(self, lines):
+        tail = [count for _, count in amplitude_histogram(lines)[1:]]
+        assert all(b < a for a, b in zip(tail, tail[1:]))

@@ -1,0 +1,102 @@
+"""Voltage-swing model (paper Figure 1(b))."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import constants
+from repro.core.voltage import VoltageSwingModel
+
+
+@pytest.fixture
+def model():
+    return VoltageSwingModel()
+
+
+class TestCalibration:
+    def test_full_swing_at_nominal_cycle(self, model):
+        assert model.swing(1.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cycle_time,expected",
+                             constants.VOLTAGE_SWING_ANCHORS)
+    def test_published_energy_anchors(self, model, cycle_time, expected):
+        # Section 5.4's cache-energy reductions (6/19/45%) pin these points.
+        assert model.swing(cycle_time) == pytest.approx(expected, abs=0.01)
+
+    def test_swing_is_zero_at_zero_cycle_time(self, model):
+        assert model.swing(0.0) == pytest.approx(0.0)
+
+    def test_underclocking_saturates_at_full_swing(self, model):
+        assert model.swing(3.0) == 1.0
+
+
+class TestShape:
+    def test_monotonically_increasing(self, model):
+        samples = [model.swing(0.05 * i) for i in range(21)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+    def test_concave_like_rc_charging(self, model):
+        # The marginal swing gain shrinks as the cycle time grows.
+        gain_low = model.swing(0.2) - model.swing(0.1)
+        gain_high = model.swing(1.0) - model.swing(0.9)
+        assert gain_low > gain_high
+
+    def test_curve_sampling_covers_unit_interval(self, model):
+        curve = model.curve(points=11)
+        assert curve[0][0] == 0.0
+        assert curve[-1][0] == pytest.approx(1.0)
+        assert len(curve) == 11
+
+
+class TestInverse:
+    @pytest.mark.parametrize("cycle_time", [0.1, 0.25, 0.5, 0.75, 0.99])
+    def test_roundtrip(self, model, cycle_time):
+        swing = model.swing(cycle_time)
+        assert model.cycle_time_for_swing(swing) == pytest.approx(
+            cycle_time, abs=1e-9)
+
+    def test_full_swing_maps_to_nominal(self, model):
+        assert model.cycle_time_for_swing(1.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_unachievable_swing_rejected(self, model, bad):
+        with pytest.raises(ValueError):
+            model.cycle_time_for_swing(bad)
+
+
+class TestValidation:
+    def test_negative_cycle_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.swing(-0.1)
+
+    @pytest.mark.parametrize("exponent", [0.0, -3.0])
+    def test_nonpositive_exponent_rejected(self, exponent):
+        with pytest.raises(ValueError):
+            VoltageSwingModel(exponent=exponent)
+
+    def test_degenerate_curve_request_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.curve(points=1)
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_order_preserving(self, a, b):
+        model = VoltageSwingModel()
+        if a <= b:
+            assert model.swing(a) <= model.swing(b) + 1e-12
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_swing_bounded(self, cycle_time):
+        swing = VoltageSwingModel().swing(cycle_time)
+        assert 0.0 < swing <= 1.0
+
+    @given(st.floats(min_value=0.5, max_value=8.0),
+           st.floats(min_value=0.05, max_value=0.95))
+    def test_roundtrip_any_exponent(self, exponent, cycle_time):
+        model = VoltageSwingModel(exponent=exponent)
+        swing = model.swing(cycle_time)
+        assert model.cycle_time_for_swing(swing) == pytest.approx(
+            cycle_time, rel=1e-6)

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples all clean
+.PHONY: install test bench artifacts examples trace-demo all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,11 @@ bench:
 # Regenerate every paper artifact via the CLI (quick versions).
 artifacts:
 	$(PYTHON) -m repro all
+
+# One traced run with event-log export (see README "Telemetry & tracing").
+trace-demo:
+	$(PYTHON) -m repro trace crc --out traces
+	$(PYTHON) -m repro trace route --packets 200 --out traces
 
 examples:
 	$(PYTHON) examples/quickstart.py

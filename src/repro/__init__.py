@@ -42,6 +42,7 @@ from repro.core import (
     policy_by_name,
 )
 from repro.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.telemetry import NULL_TRACER, Tracer
 
 __version__ = "1.0.0"
 
@@ -56,12 +57,14 @@ __all__ = [
     "FrequencyLadder",
     "MetricExponents",
     "NO_DETECTION",
+    "NULL_TRACER",
     "NoiseImmunityModel",
     "ONE_STRIKE",
     "PAPER_EXPONENTS",
     "RecoveryPolicy",
     "THREE_STRIKE",
     "TWO_STRIKE",
+    "Tracer",
     "VoltageSwingModel",
     "__version__",
     "default_fault_model",

@@ -36,6 +36,11 @@ from dataclasses import dataclass
 #: Valid protection codes, in increasing strength/energy order.
 PROTECTION_CODES = ("none", "parity", "secded")
 
+#: Recovery-action names as they appear in telemetry
+#: :class:`~repro.telemetry.events.RecoveryFallback` events.
+FALLBACK_INVALIDATE = "invalidate-line"
+FALLBACK_SUB_BLOCK = "sub-block-refill"
+
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
@@ -79,6 +84,11 @@ class RecoveryPolicy:
     def max_retries(self) -> int:
         """Extra L1 read attempts after the first detected failure."""
         return max(self.strikes - 1, 0)
+
+    @property
+    def fallback_action(self) -> str:
+        """The recovery action's telemetry name (Section 4 / footnote 2)."""
+        return FALLBACK_SUB_BLOCK if self.sub_block else FALLBACK_INVALIDATE
 
 
 #: The four schemes evaluated in the paper's Figures 9-12, in order.

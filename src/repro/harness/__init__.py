@@ -12,9 +12,11 @@ from repro.harness.experiment import (
     RunOutcome,
     build_environment,
     clear_golden_cache,
+    execute_workload,
+    load_workload,
     run_experiment,
 )
-from repro.harness.parallel import run_experiments
+from repro.harness.parallel import map_parallel, run_experiments
 from repro.harness.profile import WorkloadProfile, profile_workload
 from repro.harness.stats import Summary, format_summary, summarize
 from repro.harness.sweep import SweepPoint, sweep
@@ -41,8 +43,11 @@ __all__ = [
     "WorkloadProfile",
     "attribute_faults",
     "build_environment",
+    "execute_workload",
     "format_summary",
     "clear_golden_cache",
+    "load_workload",
+    "map_parallel",
     "render_series",
     "render_campaign",
     "render_vulnerability",

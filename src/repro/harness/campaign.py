@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiment import (
     golden_observations,
+    load_workload,
     run_experiment,
-    _load_workload,
 )
 from repro.harness.report import render_table
 from repro.harness.vulnerability import merge_buffer_labels
@@ -111,7 +111,7 @@ def run_campaign(
     """
     if trials < 1:
         raise ValueError("need at least one trial")
-    workload = _load_workload(config)
+    workload = load_workload(config)
     golden_observations(workload, config)  # warm the golden cache once
     # Measure the eligible access count with a probe run whose fault
     # never fires (its draw() still counts every eligible access).

@@ -5,9 +5,12 @@ Usage::
     python -m repro table1
     python -m repro fig5
     python -m repro fig9a --packets 300 --seeds 7,11,23
-    python -m repro all
+    python -m repro all --max-workers 4
+    python -m repro trace route --packets 200
 
-Experiment ids follow DESIGN.md's experiment index.
+Experiment ids follow DESIGN.md's experiment index.  ``trace`` is a
+subcommand (see :mod:`repro.harness.tracecmd`): it runs one traced
+experiment and exports its telemetry event log.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import argparse
 import sys
 
 from repro.harness import figures, tables
+from repro.harness.parallel import map_parallel
 
 
 def _edf_renderer(app: str, figure_name: str):
@@ -155,25 +159,43 @@ def _render_anatomy(packets: int, seeds: "tuple[int, ...]") -> str:
         rows, unattributed, errors, faults)
 
 
+def _render_job(job: "tuple[str, int, tuple[int, ...]]") -> str:
+    """Render one experiment id (picklable worker for --max-workers)."""
+    name, packets, seeds = job
+    return _experiment_renderers()[name](packets, seeds)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """argparse entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        from repro.harness import tracecmd
+        return tracecmd.main(argv[1:])
     renderers = _experiment_renderers()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artifacts of 'A Case for Clumsy Packet "
                     "Processors' (MICRO-37, 2004)")
     parser.add_argument("experiment",
-                        choices=sorted(renderers) + ["all"],
-                        help="experiment id from DESIGN.md, or 'all'")
+                        choices=sorted(renderers) + ["all", "trace"],
+                        help="experiment id from DESIGN.md, 'all', or "
+                             "'trace <app>' (traced run + event log)")
     parser.add_argument("--packets", type=int, default=300,
                         help="packets per simulated run (default 300)")
     parser.add_argument("--seeds", default="7,11,23",
                         help="comma-separated replica seeds")
+    parser.add_argument("--max-workers", type=int, default=1,
+                        help="processes for multi-experiment runs "
+                             "(default 1 = serial; experiments are "
+                             "independent, so output is order-stable)")
     args = parser.parse_args(argv)
     seeds = tuple(int(part) for part in args.seeds.split(","))
     names = sorted(renderers) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(renderers[name](args.packets, seeds))
+    jobs = [(name, args.packets, seeds) for name in names]
+    for output in map_parallel(_render_job, jobs,
+                               max_workers=args.max_workers):
+        print(output)
         print()
     return 0
 

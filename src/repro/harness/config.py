@@ -25,6 +25,11 @@ class ExperimentConfig:
     clocking the paper's Section 5.2 discusses and deems unnecessary;
     ``None`` uses ``cycle_time`` throughout.  The switch at the plane
     boundary costs the usual 10-cycle penalty.
+
+    ``tracer`` optionally attaches a :class:`repro.telemetry.Tracer` to
+    the *faulty* run (the golden run is never traced).  Tracing is pure
+    observation -- it does not participate in config equality and cannot
+    perturb results.
     """
 
     app: str
@@ -45,6 +50,10 @@ class ExperimentConfig:
     burst_multiplier: float = 1.0
     l2_fill_fault_probability: float = 0.0
     workload_kwargs: "dict[str, object]" = field(default_factory=dict)
+    # Typed as object to keep this module telemetry-agnostic; any value
+    # with the Tracer protocol (emit/finish/enabled) works.
+    tracer: "object | None" = field(default=None, compare=False,
+                                    repr=False)
 
     def __post_init__(self) -> None:
         if self.app not in NETBENCH_APPS:

@@ -39,6 +39,8 @@ from repro.mem.errors import MemoryAccessError
 from repro.mem.faults import FaultInjector
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.view import MemView
+from repro.telemetry.events import FatalError, PacketDone
+from repro.telemetry.tracer import NULL_TRACER
 
 #: Simulated address where application allocations begin (0 stays an
 #: invalid "null pointer").
@@ -166,10 +168,24 @@ def build_environment(config: ExperimentConfig, faulty: bool,
     return env, injector
 
 
-def _execute(workload: Workload, config: ExperimentConfig,
-             faulty: bool,
-             injector_override: "FaultInjector | None" = None) -> RunOutcome:
+def execute_workload(workload: Workload, config: ExperimentConfig,
+                     faulty: bool,
+                     injector_override: "FaultInjector | None" = None,
+                     tracer: "object | None" = None) -> RunOutcome:
+    """Execute one simulation (golden or faulty) over a workload.
+
+    This is the public single-run primitive shared by the experiment
+    runner, the profiler, and the single-fault campaigns.  ``tracer``
+    (or, failing that, ``config.tracer``) receives the run's telemetry
+    events when ``faulty`` is true; golden runs are never traced, so a
+    trace describes exactly one fault-injected execution.
+    """
     env, injector = build_environment(config, faulty)
+    if tracer is None:
+        tracer = config.tracer
+    if tracer is None or not faulty:
+        tracer = NULL_TRACER
+    env.hierarchy.attach_tracer(tracer)
     if faulty and injector_override is not None:
         injector = injector_override
         injector.enabled = True
@@ -177,7 +193,7 @@ def _execute(workload: Workload, config: ExperimentConfig,
     app = workload.build(env)
     controller = None
     if faulty and config.dynamic:
-        controller = DynamicFrequencyController()
+        controller = DynamicFrequencyController(tracer=tracer)
     injector.enabled = faulty and config.planes in ("control", "both")
     observations: "list[dict[str, object]]" = []
     packet_cycles: "list[float]" = []
@@ -195,7 +211,8 @@ def _execute(workload: Workload, config: ExperimentConfig,
                 and not config.dynamic):
             # Per-task clocking (Section 5.2): switch to the data-plane
             # clock at the plane boundary, paying the change penalty.
-            env.hierarchy.set_cycle_time(config.cycle_time)
+            env.hierarchy.set_cycle_time(config.cycle_time,
+                                         reason="plane-boundary")
             if env.hierarchy.cycle_time != cycle_history[-1]:
                 cycle_history.append(env.hierarchy.cycle_time)
         injector.enabled = faulty and config.planes in ("data", "both")
@@ -204,23 +221,43 @@ def _execute(workload: Workload, config: ExperimentConfig,
             cycles_before = env.processor.cycles
             observations.append(app.run_packet(packet, index))
             packet_cycles.append(env.processor.cycles - cycles_before)
+            if tracer.enabled:
+                tracer.emit(PacketDone(
+                    cycle=env.processor.cycles,
+                    engine=env.hierarchy.engine_id,
+                    packet_index=index,
+                    packet_cycles=env.processor.cycles - cycles_before,
+                    cr=env.hierarchy.cycle_time))
             if controller is not None:
                 delta = env.hierarchy.detected_faults - last_detected
                 last_detected = env.hierarchy.detected_faults
                 controller.record_fault(delta)
                 if controller.packet_completed():
-                    env.hierarchy.set_cycle_time(controller.cycle_time)
+                    env.hierarchy.set_cycle_time(controller.cycle_time,
+                                                 reason="dynamic")
                     cycle_history.append(controller.cycle_time)
     except (FatalExecutionError, MemoryAccessError) as exc:
         fatal_reason = f"{type(exc).__name__}: {exc}"
         fatal_index = len(observations)
+        if tracer.enabled:
+            tracer.emit(FatalError(
+                cycle=env.processor.cycles,
+                engine=env.hierarchy.engine_id,
+                packet_index=fatal_index, reason=fatal_reason,
+                cr=env.hierarchy.cycle_time))
     env.processor.finalize()
+    tracer.finish()
     return RunOutcome(
         observations=observations, fatal_reason=fatal_reason,
         fatal_packet_index=fatal_index, processor=env.processor,
         hierarchy=env.hierarchy, cycle_history=tuple(cycle_history),
         regions=env.allocator.regions,
         packet_cycles=tuple(packet_cycles))
+
+
+#: Backwards-compatible alias of :func:`execute_workload` (pre-telemetry
+#: callers imported the then-private name).
+_execute = execute_workload
 
 
 # Golden observations depend only on the workload identity, never on the
@@ -244,7 +281,7 @@ def golden_observations(workload: Workload, config: ExperimentConfig,
     golden_config = ExperimentConfig(
         app=config.app, packet_count=config.packet_count, seed=config.seed,
         workload_kwargs=dict(config.workload_kwargs))
-    outcome = _execute(workload, golden_config, faulty=False)
+    outcome = execute_workload(workload, golden_config, faulty=False)
     if outcome.fatal_reason is not None:
         raise RuntimeError(
             f"golden run must not fail, got {outcome.fatal_reason}")
@@ -252,24 +289,33 @@ def golden_observations(workload: Workload, config: ExperimentConfig,
     return outcome.observations
 
 
-def _load_workload(config: ExperimentConfig) -> Workload:
+def load_workload(config: ExperimentConfig) -> Workload:
+    """Build the deterministic workload a config describes."""
     return make_workload(config.app, config.packet_count, config.seed,
                          **config.workload_kwargs)
 
 
+#: Backwards-compatible alias of :func:`load_workload`.
+_load_workload = load_workload
+
+
 def run_experiment(config: ExperimentConfig,
                    injector_override: "FaultInjector | None" = None,
+                   tracer: "object | None" = None,
                    ) -> ExperimentResult:
     """Golden + faulty execution, reduced to the paper's metrics.
 
     ``injector_override`` substitutes a caller-built injector for the
     config-derived one in the faulty run (single-fault campaigns,
     scripted fault streams); the golden run is never affected.
+    ``tracer`` (or ``config.tracer``) receives the faulty run's telemetry
+    events; tracing never perturbs the result.
     """
-    workload = _load_workload(config)
+    workload = load_workload(config)
     golden = golden_observations(workload, config)
-    outcome = _execute(workload, config, faulty=True,
-                       injector_override=injector_override)
+    outcome = execute_workload(workload, config, faulty=True,
+                               injector_override=injector_override,
+                               tracer=tracer)
     category_errors: "dict[str, int]" = {}
     erroneous_packets = 0
     error_flags: "list[bool]" = []

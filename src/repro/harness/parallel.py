@@ -22,22 +22,30 @@ def _worker(config: ExperimentConfig) -> ExperimentResult:
     return run_experiment(config)
 
 
+def map_parallel(function, items: "list", max_workers: "int | None" = None,
+                 ) -> "list":
+    """Apply a picklable function to every item, optionally across processes.
+
+    Results come back in input order.  ``max_workers=1`` (or a single
+    item) runs serially in-process -- same results, no fork overhead;
+    ``None`` lets the executor pick the machine's default worker count.
+    This is the shared fan-out primitive behind :func:`run_experiments`
+    and the CLI's ``--max-workers`` flag.
+    """
+    if not items:
+        raise ValueError("need at least one item")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be positive")
+    if max_workers == 1 or len(items) == 1:
+        return [function(item) for item in items]
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers) as executor:
+        return list(executor.map(function, items))
+
+
 def run_experiments(
     configs: "list[ExperimentConfig]",
     max_workers: "int | None" = None,
 ) -> "list[ExperimentResult]":
-    """Run every config, in input order, optionally across processes.
-
-    ``max_workers=1`` (or a single config) runs serially in-process --
-    same results, no fork overhead.  ``None`` lets the executor pick the
-    machine's default worker count.
-    """
-    if not configs:
-        raise ValueError("need at least one configuration")
-    if max_workers is not None and max_workers < 1:
-        raise ValueError("max_workers must be positive")
-    if max_workers == 1 or len(configs) == 1:
-        return [run_experiment(config) for config in configs]
-    with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers) as executor:
-        return list(executor.map(_worker, configs))
+    """Run every config, in input order, optionally across processes."""
+    return map_parallel(_worker, configs, max_workers=max_workers)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.config import ExperimentConfig
-from repro.harness.experiment import _execute, _load_workload
+from repro.harness.experiment import execute_workload, load_workload
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,7 @@ def profile_workload(app: str, packet_count: int = 300, seed: int = 7,
     config = ExperimentConfig(app=app, packet_count=packet_count, seed=seed,
                               fault_scale=0.0,
                               workload_kwargs=dict(workload_kwargs or {}))
-    outcome = _execute(_load_workload(config), config, faulty=False)
+    outcome = execute_workload(load_workload(config), config, faulty=False)
     if outcome.fatal_reason is not None:
         raise RuntimeError(f"profiling run failed: {outcome.fatal_reason}")
     packets = outcome.processed_packets

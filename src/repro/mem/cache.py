@@ -113,6 +113,15 @@ class Cache:
         self._clock = 0
         self._on_fill = on_fill
         self._on_writeback = on_writeback
+        # Optional telemetry tracer (duck-typed; None keeps the mem layer
+        # dependency-free).  Only line *traffic* is counted here -- fault
+        # and strike events belong to the hierarchy, which knows why an
+        # invalidation happened.
+        self._tracer: "object | None" = None
+
+    def attach_tracer(self, tracer: "object | None") -> None:
+        """Route this cache's line-traffic counters to a tracer."""
+        self._tracer = tracer
 
     # -- geometry helpers ----------------------------------------------------
 
@@ -158,6 +167,10 @@ class Cache:
         victim = min(ways, key=lambda line: line.last_use)
         ways.remove(victim)
         self.stats.evictions += 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.counters.bump(f"{self.name}.evictions")
+            if victim.dirty:
+                self._tracer.counters.bump(f"{self.name}.writebacks")
         if victim.dirty:
             self.stats.writebacks += 1
             victim_address = (
@@ -173,6 +186,8 @@ class Cache:
         line = CacheLine(tag=self._tag(line_address), data=data,
                          last_use=self._clock)
         self._sets[set_index].append(line)
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.counters.bump(f"{self.name}.fills")
         if self._on_fill is not None:
             self._on_fill(line_address)
         return line
@@ -263,6 +278,8 @@ class Cache:
             return False
         self._sets[set_index].remove(line)
         self.stats.invalidations += 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.counters.bump(f"{self.name}.invalidations")
         return True
 
     def flush(self) -> None:

@@ -43,10 +43,18 @@ from __future__ import annotations
 from repro.core import constants
 from repro.core.recovery import NO_DETECTION, RecoveryPolicy
 from repro.cpu.processor import Processor
+from repro.mem import parity
 from repro.mem.backing import BackingStore
 from repro.mem.cache import Cache
 from repro.mem.errors import MemoryAccessError, StraddlingAccessError
-from repro.mem.faults import FaultInjector
+from repro.mem.faults import FaultEvent, FaultInjector
+from repro.telemetry.events import (
+    FaultInjected,
+    FrequencySwitch,
+    ParityStrike,
+    RecoveryFallback,
+)
+from repro.telemetry.tracer import NULL_TRACER
 
 
 def _garbage_value(address: int, length: int) -> int:
@@ -109,6 +117,7 @@ class MemoryHierarchy:
         self._memory_latency = memory_latency_cycles
         self._l1_latency = l1_latency
         self._l2_latency = l2_latency
+        self._owns_l2 = shared_l2 is None
         if shared_l2 is not None:
             if shared_memory is None:
                 raise ValueError("a shared L2 requires the shared memory")
@@ -142,6 +151,40 @@ class MemoryHierarchy:
         self.stall_cycles_l1 = 0.0
         self.stall_cycles_l2 = 0.0
         self.stall_cycles_memory = 0.0
+        #: Telemetry sink; NULL_TRACER keeps the hot paths event-free.
+        self.tracer = NULL_TRACER
+        #: Engine id stamped on emitted events (multicore sets it).
+        self.engine_id = 0
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def attach_tracer(self, tracer, engine_id: int = 0) -> None:
+        """Route this hierarchy's events (and cache counters) to a tracer.
+
+        A shared L2 (multicore) is left untouched -- its owner attaches it
+        once so per-engine attachment does not double-count its traffic.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.engine_id = engine_id
+        self.processor.tracer = self.tracer
+        self.l1d.attach_tracer(self.tracer)
+        if self._owns_l2:
+            self.l2.attach_tracer(self.tracer)
+
+    def _trace_fault(self, address: int, is_write: bool,
+                     event: FaultEvent) -> None:
+        self.tracer.emit(FaultInjected(
+            cycle=self.processor.cycles, engine=self.engine_id,
+            address=address, is_write=is_write,
+            flip_count=event.flip_count,
+            bit_positions=event.bit_positions, cr=self._cycle_time))
+
+    def _trace_strike(self, address: int, attempt: int) -> None:
+        self.tracer.emit(ParityStrike(
+            cycle=self.processor.cycles, engine=self.engine_id,
+            address=address,
+            line_address=self.l1d.line_address(address),
+            attempt=attempt, cr=self._cycle_time))
 
     # -- clock control ----------------------------------------------------------
 
@@ -150,14 +193,26 @@ class MemoryHierarchy:
         """Current relative cycle time ``Cr`` of the L1 data cache."""
         return self._cycle_time
 
-    def set_cycle_time(self, relative_cycle_time: float) -> None:
-        """Switch the L1D clock; charges the 10-cycle penalty on a change."""
+    def set_cycle_time(self, relative_cycle_time: float,
+                       reason: str = "manual") -> None:
+        """Switch the L1D clock; charges the 10-cycle penalty on a change.
+
+        ``reason`` labels the emitted telemetry event: ``"dynamic"`` for
+        the epoch controller, ``"plane-boundary"`` for Section 5.2
+        per-task clocking, ``"manual"`` otherwise.
+        """
         if relative_cycle_time <= 0:
             raise ValueError("relative cycle time must be positive")
         if relative_cycle_time == self._cycle_time:
             return
+        previous = self._cycle_time
         self._cycle_time = relative_cycle_time
         self.processor.frequency_change_penalty()
+        if self.tracer.enabled:
+            self.tracer.emit(FrequencySwitch(
+                cycle=self.processor.cycles, engine=self.engine_id,
+                previous_cr=previous, new_cr=relative_cycle_time,
+                reason=reason))
 
     # -- energy / latency callbacks ------------------------------------------------
 
@@ -297,6 +352,8 @@ class MemoryHierarchy:
         if event is not None:
             self.injector.record_kind(is_write=False)
             self.fault_sites.append((address, False))
+            if self.tracer.enabled:
+                self._trace_fault(address, False, event)
             value = event.apply(value)
             read_flips = self._map_flips(address, event.bit_positions)
         if not self.policy.detects_faults:
@@ -305,7 +362,7 @@ class MemoryHierarchy:
         if not combined:
             return value, "clean"
         if self.policy.code == "parity":
-            if any(len(bits) % 2 == 1 for bits in combined.values()):
+            if parity.detected_words(combined):
                 return value, "detected"
             self.undetected_corruptions += 1
             return value, "clean"
@@ -336,6 +393,7 @@ class MemoryHierarchy:
         rest of the line -- and its possibly newer data -- intact.
         """
         if self.policy.sub_block:
+            refetched = 0
             for word in self._covered_words(address, length):
                 if not self.l1d.contains(word):
                     continue
@@ -346,10 +404,25 @@ class MemoryHierarchy:
                 self.l1d.poke(word, fresh)
                 self._corruption.pop(word, None)
                 self.sub_block_refills += 1
+                refetched += 1
+            if self.tracer.enabled:
+                self.tracer.emit(RecoveryFallback(
+                    cycle=self.processor.cycles, engine=self.engine_id,
+                    address=address,
+                    line_address=self.l1d.line_address(address),
+                    action=self.policy.fallback_action, words=refetched,
+                    cr=self._cycle_time))
             return
         if self.l1d.invalidate_line(address):
             self.recovery_invalidations += 1
             self._drop_corruption_in_line(self.l1d.line_address(address))
+            if self.tracer.enabled:
+                self.tracer.emit(RecoveryFallback(
+                    cycle=self.processor.cycles, engine=self.engine_id,
+                    address=address,
+                    line_address=self.l1d.line_address(address),
+                    action=self.policy.fallback_action, words=0,
+                    cr=self._cycle_time))
 
     def read(self, address: int, length: int) -> int:
         """Read ``length`` bytes as a little-endian unsigned integer.
@@ -364,11 +437,15 @@ class MemoryHierarchy:
         if outcome != "detected":
             return value
         self.detected_faults += 1
-        for _ in range(self.policy.max_retries):
+        if self.tracer.enabled:
+            self._trace_strike(address, attempt=1)
+        for retry in range(self.policy.max_retries):
             value, outcome = self._raw_read(address, length)
             if outcome != "detected":
                 return value
             self.detected_faults += 1
+            if self.tracer.enabled:
+                self._trace_strike(address, attempt=retry + 2)
         self._recover(address, length)
         try:
             value = int.from_bytes(self.l1d.read(address, length), "little")
@@ -384,9 +461,15 @@ class MemoryHierarchy:
         if event is not None:
             self.injector.record_kind(is_write=False)
             self.fault_sites.append((address, False))
+            if self.tracer.enabled:
+                self._trace_fault(address, False, event)
             value = event.apply(value)
             if event.flip_count % 2 == 1:
                 self.detected_faults += 1
+                if self.tracer.enabled:
+                    # Detected after the strike budget was already spent.
+                    self._trace_strike(address,
+                                       attempt=self.policy.strikes + 1)
         return value
 
     # -- write path -------------------------------------------------------------
@@ -421,6 +504,8 @@ class MemoryHierarchy:
             return
         self.injector.record_kind(is_write=True)
         self.fault_sites.append((address, True))
+        if self.tracer.enabled:
+            self._trace_fault(address, True, event)
         corrupted = event.apply(value).to_bytes(length, "little")
         self.l1d.poke(address, corrupted)
         flip_map = self._map_flips(address, event.bit_positions)

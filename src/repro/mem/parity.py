@@ -39,3 +39,17 @@ def detects(flip_count: int) -> bool:
     if flip_count < 0:
         raise ValueError("flip count must be non-negative")
     return flip_count % 2 == 1
+
+
+def detected_words(corruption_by_word: "dict[int, frozenset[int]]",
+                   ) -> "tuple[int, ...]":
+    """Word addresses whose corruption a per-word parity bit flags.
+
+    ``corruption_by_word`` maps word addresses to the set of flipped bit
+    positions; only odd-weight corruption is detectable (the paper's
+    100x-rarer even-weight faults escape).  The hierarchy uses this to
+    decide whether a read raises a strike -- and telemetry uses the same
+    word list to attribute the strike to a cache line.
+    """
+    return tuple(word for word, bits in corruption_by_word.items()
+                 if detects(len(bits)))

@@ -1,0 +1,62 @@
+"""Exporters: JSONL (lossless round-trip) and CSV (flat, spreadsheet-ready).
+
+JSONL is the archival format: one event per line, rebuilt into the same
+typed objects by :func:`read_jsonl`.  CSV flattens every event onto the
+union of all event fields (blank where a field does not apply) so the log
+drops straight into pandas or a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.telemetry.events import ALL_FIELD_NAMES, TraceEvent, from_record
+
+
+def write_jsonl(events: "list[TraceEvent]", path: "str | Path") -> Path:
+    """Write one JSON record per event; returns the path written."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_record(), sort_keys=True))
+            handle.write("\n")
+    return destination
+
+
+def read_jsonl(path: "str | Path") -> "list[TraceEvent]":
+    """Rebuild the typed event list a JSONL export came from."""
+    events: "list[TraceEvent]" = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {exc}") from None
+            events.append(from_record(record))
+    return events
+
+
+def write_csv(events: "list[TraceEvent]", path: "str | Path") -> Path:
+    """Write a flat CSV over the union of all event fields."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    columns = ("type",) + ALL_FIELD_NAMES
+    with destination.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns,
+                                restval="")
+        writer.writeheader()
+        for event in events:
+            record = event.to_record()
+            positions = record.get("bit_positions")
+            if isinstance(positions, list):
+                record["bit_positions"] = ";".join(
+                    str(position) for position in positions)
+            writer.writerow(record)
+    return destination

@@ -1,0 +1,93 @@
+"""Lightweight counters and fixed-bucket histograms for telemetry.
+
+Pure-Python, allocation-light accumulators.  Histograms use *fixed* bucket
+bounds chosen at construction, so recording is O(number of buckets) in the
+worst case and needs no rebalancing -- the right trade for hot simulation
+loops that must not perturb timing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class CounterSet:
+    """A named set of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: "dict[str, int]" = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increase ``name`` by ``amount`` (creating it at zero)."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never bumped)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> "dict[str, int]":
+        """Copy of every counter, sorted by name."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class FixedHistogram:
+    """A histogram over fixed upper-bound buckets plus an overflow bucket.
+
+    ``bounds`` are inclusive upper edges in increasing order; a recorded
+    value lands in the first bucket whose bound is >= the value, or in the
+    overflow bucket beyond the last bound.
+    """
+
+    def __init__(self, bounds: "tuple[float, ...]") -> None:
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self._sum = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self._sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of every recorded observation (0 before any)."""
+        return self._sum / self.total if self.total else 0.0
+
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last bucket bound."""
+        return self.counts[-1]
+
+    def buckets(self) -> "list[tuple[str, int]]":
+        """(label, count) pairs, one per bucket, overflow last."""
+        labels = []
+        previous = None
+        for bound in self.bounds:
+            text = f"{bound:g}"
+            labels.append(f"<= {text}" if previous is None
+                          else f"({previous:g}, {text}]")
+            previous = bound
+        labels.append(f"> {previous:g}")
+        return list(zip(labels, self.counts))
+
+    def render(self, title: str, width: int = 32) -> str:
+        """One-histogram ASCII rendering for terminal summaries."""
+        peak = max(self.counts) or 1
+        label_width = max(len(label) for label, _ in self.buckets())
+        lines = [f"{title}  (n={self.total}, mean={self.mean:.1f})"]
+        for label, count in self.buckets():
+            bar = "#" * round(width * count / peak)
+            lines.append(f"  {label.rjust(label_width)}  "
+                         f"{str(count).rjust(6)} |{bar}")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Terminal rendering of a trace: timeline summary and per-epoch report.
+
+These renderers work from the raw event list (e.g. re-read from a JSONL
+export) so a log can be summarised without the tracer that produced it.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    EpochBoundary,
+    FatalError,
+    FaultInjected,
+    FrequencySwitch,
+    PacketDone,
+    ParityStrike,
+    RecoveryFallback,
+    TraceEvent,
+)
+from repro.telemetry.tracer import Tracer
+
+
+def _render_table(title: str, headers: "list[str]",
+                  rows: "list[list[object]]") -> str:
+    # Imported lazily: repro.harness imports repro.telemetry, so a
+    # module-level import here would be circular.
+    from repro.harness.report import render_table
+    return render_table(title, headers, rows)
+
+
+def epoch_report(events: "list[TraceEvent]",
+                 title: str = "Per-epoch fault/recovery/frequency report",
+                 ) -> str:
+    """One row per telemetry epoch: faults, strikes, fallbacks, clock."""
+    rows: "list[list[object]]" = []
+    switches = 0
+    cr_path: "list[float]" = []
+    for event in events:
+        if isinstance(event, FrequencySwitch):
+            switches += 1
+            cr_path.append(event.new_cr)
+        elif isinstance(event, EpochBoundary):
+            trajectory = ("->".join(f"{cr:g}" for cr in cr_path)
+                          if cr_path else "steady")
+            rows.append([event.epoch_index, event.packets,
+                         event.faults_injected, event.faults_detected,
+                         event.fallbacks, switches, trajectory,
+                         f"{event.cr:g}", round(event.cycle, 1)])
+            switches = 0
+            cr_path = []
+    if not rows:
+        return f"{title}\n  (no epochs recorded)"
+    return _render_table(
+        title,
+        ["epoch", "packets", "faults", "strikes", "fallbacks", "switches",
+         "Cr moves", "Cr", "end cycle"],
+        rows)
+
+
+def timeline_summary(events: "list[TraceEvent]",
+                     title: str = "Trace timeline") -> str:
+    """Event counts, cycle span, clock trajectory, and hot lines."""
+    lines = [title]
+    if not events:
+        return title + "\n  (empty trace)"
+    first, last = events[0].cycle, events[-1].cycle
+    lines.append(f"  {len(events)} events over cycles "
+                 f"[{first:.1f}, {last:.1f}]")
+    counts = {event_type: 0 for event_type in EVENT_TYPES}
+    for event in events:
+        counts[type(event)] += 1
+    lines.append("  " + "  ".join(
+        f"{event_type.kind}={counts[event_type]}"
+        for event_type in EVENT_TYPES))
+    switches = [event for event in events
+                if isinstance(event, FrequencySwitch)]
+    if switches:
+        trajectory = [f"{switches[0].previous_cr:g}"]
+        trajectory.extend(f"{event.new_cr:g}" for event in switches)
+        lines.append("  Cr trajectory: " + " -> ".join(trajectory))
+    strikes: "dict[int, int]" = {}
+    for event in events:
+        if isinstance(event, ParityStrike):
+            strikes[event.line_address] = strikes.get(event.line_address,
+                                                      0) + 1
+    if strikes:
+        hottest = sorted(strikes.items(), key=lambda item: -item[1])[:5]
+        lines.append("  hottest lines (strikes): " + ", ".join(
+            f"{address:#x}:{count}" for address, count in hottest))
+    fatals = [event for event in events if isinstance(event, FatalError)]
+    for fatal in fatals:
+        lines.append(f"  FATAL at packet {fatal.packet_index} "
+                     f"(cycle {fatal.cycle:.1f}): {fatal.reason}")
+    recoveries = sum(1 for event in events
+                     if isinstance(event, RecoveryFallback))
+    injected = sum(1 for event in events
+                   if isinstance(event, FaultInjected))
+    done = sum(1 for event in events if isinstance(event, PacketDone))
+    if done:
+        lines.append(f"  {injected} faults and {recoveries} L2 fallbacks "
+                     f"over {done} packets "
+                     f"({injected / done:.2f} faults/packet)")
+    return "\n".join(lines)
+
+
+def render_trace_report(tracer: Tracer, label: str = "") -> str:
+    """Full terminal report for one traced run."""
+    heading = f"Trace report{' -- ' + label if label else ''}"
+    sections = [
+        timeline_summary(tracer.events, title=heading),
+        "",
+        epoch_report(tracer.events),
+        "",
+        tracer.packet_latency.render("Packet latency (cycles)"),
+    ]
+    if tracer.counters.get(EpochBoundary.kind) > 1:
+        sections.extend(
+            ["", tracer.faults_per_epoch.render("Faults per epoch")])
+    return "\n".join(sections)

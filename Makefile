@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples trace-demo all clean
+.PHONY: install test lint typecheck bench artifacts examples trace-demo all clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# reprolint: AST-based invariant linter (see docs/LINTING.md).  Covers
+# src/repro with the full rule set and tests/ with the relaxed
+# determinism-only profile (no wall-clock, no unseeded randomness).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+
+# mypy: strict for repro.analysis and repro.telemetry, permissive
+# elsewhere (configured in pyproject.toml).
+typecheck:
+	PYTHONPATH=src $(PYTHON) -m mypy
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -30,7 +41,7 @@ examples:
 	$(PYTHON) examples/operating_point.py route
 	$(PYTHON) examples/multicore_np.py
 
-all: test bench
+all: lint test bench
 
 clean:
 	rm -rf build *.egg-info .pytest_cache .hypothesis

@@ -1,0 +1,91 @@
+"""Checked-in baseline: grandfathered findings that do not fail the run.
+
+A baseline entry is a finding fingerprint (path + rule + stripped source
+line, no line number) with an occurrence count, so a file containing the
+same violating line twice needs a count of 2.  The engine subtracts
+baseline occurrences from the live findings; anything left fails the
+run, and *stale* entries (baselined but no longer found) are reported so
+the file shrinks monotonically.
+
+The repository policy (docs/LINTING.md) is to fix violations rather
+than baseline them -- the shipped ``reprolint-baseline.json`` is empty
+and should stay that way; the mechanism exists for vendored code and
+large-scale rule rollouts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Current schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> "Dict[str, int]":
+    """Read a baseline file into ``fingerprint -> allowed count``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r}")
+    counts: "Dict[str, int]" = {}
+    for entry in payload["findings"]:
+        fingerprint = entry["fingerprint"]
+        counts[fingerprint] = counts.get(fingerprint, 0) + \
+            int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str, findings: "List[Finding]") -> None:
+    """Write the given findings as the new baseline (sorted, counted)."""
+    counted: "Dict[str, Dict[str, object]]" = {}
+    for finding in findings:
+        entry = counted.setdefault(finding.fingerprint, {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "source_line": finding.source_line.strip(),
+            "count": 0,
+        })
+        entry["count"] = int(entry["count"]) + 1  # type: ignore[arg-type]
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            counted.values(),
+            key=lambda e: (str(e["path"]), str(e["rule"]),
+                           str(e["fingerprint"]))),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def apply_baseline(
+        findings: "List[Finding]", baseline: "Dict[str, int]",
+) -> "Tuple[List[Finding], int, List[str]]":
+    """Split live findings against the baseline.
+
+    Returns ``(new_findings, matched_count, stale_fingerprints)``:
+    findings not covered by the baseline, how many were covered, and
+    baseline entries with no surviving live finding (candidates for
+    removal).
+    """
+    remaining = dict(baseline)
+    new_findings: "List[Finding]" = []
+    matched = 0
+    for finding in findings:
+        allowance = remaining.get(finding.fingerprint, 0)
+        if allowance > 0:
+            remaining[finding.fingerprint] = allowance - 1
+            matched += 1
+        else:
+            new_findings.append(finding)
+    stale = sorted(fingerprint for fingerprint, count in remaining.items()
+                   if count == baseline.get(fingerprint, 0) and count > 0)
+    return new_findings, matched, stale

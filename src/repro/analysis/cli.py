@@ -1,0 +1,173 @@
+"""``python -m repro lint`` -- the reprolint command line.
+
+Exit codes: 0 clean, 1 at least one unsuppressed/unbaselined
+error-severity finding, 2 usage error.
+
+Default operation lints ``src/repro`` under the ``src`` profile (every
+rule) and ``tests`` under the ``tests`` profile (determinism only,
+set-iteration relaxed), matching ``make lint`` and the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import baseline as baseline_module
+from repro.analysis.base import PROFILES, RULE_REGISTRY
+from repro.analysis.engine import lint_paths, make_rules
+from repro.analysis.findings import Finding
+
+#: Baseline file looked up relative to the working directory by default.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+#: Default lint roots (relative to the repository root).
+DEFAULT_PATHS = ("src/repro", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: AST-based invariant linter for the "
+                    "clumsy-packet-processor reproduction "
+                    "(determinism, memory hygiene, layering, "
+                    "encapsulation, numeric safety)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: "
+                             "src/repro and tests, when they exist)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON report on stdout")
+    parser.add_argument("--profile", choices=PROFILES + ("auto",),
+                        default="auto",
+                        help="force a rule profile; 'auto' (default) "
+                             "derives it per file from the path "
+                             "(tests/benchmarks dirs -> tests profile)")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE",
+                        help="disable a rule id (repeatable, "
+                             "comma-separable)")
+    parser.add_argument("--warning", action="append", default=[],
+                        metavar="RULE",
+                        help="demote a rule id to warning severity "
+                             "(repeatable, comma-separable)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: "
+                             f"{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids with descriptions and exit")
+    return parser
+
+
+def _split_ids(values: "List[str]") -> "List[str]":
+    ids: "List[str]" = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",")
+                   if part.strip())
+    return ids
+
+
+def _list_rules() -> str:
+    lines = ["reprolint rules:"]
+    for rule_id, rule_class in sorted(RULE_REGISTRY.items()):
+        profiles = ",".join(rule_class.profiles)
+        lines.append(f"  {rule_id:<16} [{rule_class.severity}, "
+                     f"profiles: {profiles}]")
+        lines.append(f"      {rule_class.short}")
+        lines.append(f"      rationale: {rule_class.rationale}")
+    return "\n".join(lines)
+
+
+def _default_paths() -> "List[str]":
+    present = [path for path in DEFAULT_PATHS if os.path.exists(path)]
+    return present
+
+
+def _render_report(findings: "List[Finding]", matched: int,
+                   stale: "List[str]", checked_paths: "List[str]",
+                   ) -> str:
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    summary = (f"reprolint: {errors} error(s), {warnings} warning(s) "
+               f"in {', '.join(checked_paths)}")
+    if matched:
+        summary += f"; {matched} baselined"
+    lines.append(summary)
+    if stale:
+        lines.append(
+            f"reprolint: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} (no longer found) -- "
+            f"run --write-baseline to shrink the baseline: "
+            f"{', '.join(stale[:5])}"
+            f"{' ...' if len(stale) > 5 else ''}")
+    return "\n".join(lines)
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """Entry point for ``python -m repro lint``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        parser.error("no paths given and neither src/repro nor tests "
+                     "exists under the working directory")
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    try:
+        rules = make_rules(disabled=_split_ids(args.disable),
+                           demoted=_split_ids(args.warning))
+    except ValueError as error:
+        parser.error(str(error))
+
+    profile = None if args.profile == "auto" else args.profile
+    findings = lint_paths(paths, rules, profile=profile)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline_exists = os.path.exists(baseline_path)
+    if args.write_baseline:
+        baseline_module.write_baseline(baseline_path, findings)
+        print(f"reprolint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    matched = 0
+    stale: "List[str]" = []
+    if not args.no_baseline and baseline_exists:
+        baseline = baseline_module.load_baseline(baseline_path)
+        findings, matched, stale = baseline_module.apply_baseline(
+            findings, baseline)
+
+    errors = sum(1 for f in findings if f.severity == "error")
+    if args.as_json:
+        payload = {
+            "version": 1,
+            "paths": list(paths),
+            "findings": [finding.to_dict() for finding in findings],
+            "baselined": matched,
+            "stale_baseline": stale,
+            "errors": errors,
+            "warnings": len(findings) - errors,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_render_report(findings, matched, stale, list(paths)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

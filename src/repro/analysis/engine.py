@@ -1,0 +1,183 @@
+"""The reprolint engine: file discovery, parsing, suppression, reporting.
+
+The engine is deliberately standalone -- it imports nothing from the
+simulator (``analysis`` sits beside ``util`` at the bottom of the layer
+DAG), so linting can never be perturbed by the code under analysis.
+
+Per-file pipeline::
+
+    read -> parse AST -> run every applicable rule -> drop suppressed
+    findings -> (caller applies the baseline)
+
+Suppressions are line comments::
+
+    risky_line()  # reprolint: disable=rule-id
+    risky_line()  # reprolint: disable=rule-a,rule-b
+    risky_line()  # reprolint: disable=all
+
+and a whole file can opt out with ``# reprolint: skip-file`` in its
+first ten lines (reserved for vendored code; nothing in the tree uses
+it).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis import rules as _rules  # noqa: F401  (registration)
+from repro.analysis.base import PROFILES, FileContext, RULE_REGISTRY, Rule
+from repro.analysis.findings import Finding, sort_findings
+
+#: Suppression comment grammar.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,-]+)")
+_SKIP_FILE_RE = re.compile(r"#\s*reprolint:\s*skip-file")
+
+#: How many leading lines may carry a skip-file pragma.
+_SKIP_FILE_WINDOW = 10
+
+
+def iter_python_files(paths: "Sequence[str]") -> "List[str]":
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: "List[str]" = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(root, filename))
+    return sorted(dict.fromkeys(found))
+
+
+def module_name_for(path: str) -> "Optional[str]":
+    """Dotted module name for files inside a ``repro`` package tree.
+
+    Works for the real tree (``src/repro/mem/cache.py`` ->
+    ``repro.mem.cache``) and for fixture trees rooted at any directory
+    named ``repro``.  Files outside such a tree return ``None``.
+    """
+    normalized = os.path.normpath(path)
+    parts = normalized.split(os.sep)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    module_parts = parts[anchor:]
+    module_parts[-1] = module_parts[-1][:-3]  # strip .py
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+def profile_for(path: str, explicit: "Optional[str]" = None) -> str:
+    """Profile for one file: explicit override, else path-derived."""
+    if explicit is not None:
+        return explicit
+    parts = os.path.normpath(path).split(os.sep)
+    if "tests" in parts or "benchmarks" in parts:
+        return "tests"
+    return "src"
+
+
+def make_rules(disabled: "Iterable[str]" = (),
+               demoted: "Iterable[str]" = ()) -> "List[Rule]":
+    """Instantiate registered rules, applying CLI-level severity tweaks."""
+    disabled_set = set(disabled)
+    demoted_set = set(demoted)
+    unknown = (disabled_set | demoted_set) - set(RULE_REGISTRY)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULE_REGISTRY))}")
+    instances: "List[Rule]" = []
+    for rule_id, rule_class in RULE_REGISTRY.items():
+        if rule_id in disabled_set:
+            continue
+        instance = rule_class()
+        if rule_id in demoted_set:
+            instance.severity = "warning"
+        instances.append(instance)
+    return instances
+
+
+def _suppressed_rules(line: str) -> "Optional[set]":
+    """Rule ids suppressed on this physical line (None when none)."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    return {part.strip() for part in match.group(1).split(",")
+            if part.strip()}
+
+
+def lint_file(path: str, rules: "Sequence[Rule]",
+              profile: str = "src",
+              options: "Optional[Dict[str, object]]" = None,
+              ) -> "List[Finding]":
+    """Lint one file; returns unsuppressed findings (baseline not applied)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules, profile=profile,
+                       options=options)
+
+
+def lint_source(source: str, path: str, rules: "Sequence[Rule]",
+                profile: str = "src",
+                options: "Optional[Dict[str, object]]" = None,
+                module: "Optional[str]" = None,
+                ) -> "List[Finding]":
+    """Lint in-memory source (the unit the tests exercise directly)."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    lines = source.splitlines()
+    for line in lines[:_SKIP_FILE_WINDOW]:
+        if _SKIP_FILE_RE.search(line):
+            return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            rule="parse-error", severity="error", path=path,
+            line=error.lineno or 1, column=error.offset or 0,
+            message=f"file does not parse: {error.msg}",
+            source_line=lines[(error.lineno or 1) - 1]
+            if 0 < (error.lineno or 1) <= len(lines) else "")]
+    context = FileContext(
+        path=path,
+        module=module if module is not None else module_name_for(path),
+        tree=tree,
+        lines=lines,
+        profile=profile,
+        options=dict(options or {}),
+    )
+    findings: "List[Finding]" = []
+    for rule in rules:
+        if profile not in rule.profiles:
+            continue
+        for finding in rule.check(context):
+            suppressed = _suppressed_rules(
+                context.source_line(finding.line))
+            if suppressed is not None and \
+                    ("all" in suppressed or finding.rule in suppressed):
+                continue
+            findings.append(finding)
+    return sort_findings(findings)
+
+
+def lint_paths(paths: "Sequence[str]", rules: "Sequence[Rule]",
+               profile: "Optional[str]" = None,
+               options: "Optional[Dict[str, object]]" = None,
+               ) -> "List[Finding]":
+    """Lint files/directories; profile is per-file unless forced."""
+    findings: "List[Finding]" = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules,
+                                  profile=profile_for(path, profile),
+                                  options=options))
+    return sort_findings(findings)

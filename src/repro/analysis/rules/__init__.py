@@ -1,0 +1,17 @@
+"""Built-in reprolint rules.
+
+Importing this package populates the rule registry
+(:data:`repro.analysis.base.RULE_REGISTRY`).  A new rule is a module
+here with a ``@register``-decorated :class:`~repro.analysis.base.Rule`
+subclass plus an import below -- nothing else to wire.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    floatcmp,
+    hygiene,
+    layering,
+    privacy,
+)
+
+__all__ = ["determinism", "floatcmp", "hygiene", "layering", "privacy"]

@@ -1,0 +1,82 @@
+"""Rule ``private-import``: no cross-module use of ``_private`` names.
+
+PR 1 fixed ``harness/profile.py`` importing private helpers from
+``harness/experiment.py`` by promoting them to a public API
+(``execute_workload``/``load_workload``).  This rule prevents the
+regression class: a leading-underscore name is a module-local contract,
+and importing one from another module couples callers to internals that
+may change without notice.  The fix is always to promote the name (as
+PR 2 did for ``repro.apps.radix.FNV_OFFSET``) or to add a public
+wrapper -- never to suppress.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Rule, register
+from repro.analysis.findings import Finding
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not name.startswith("__")
+
+
+@register
+class PrivateImportRule(Rule):
+    """Forbid importing or dereferencing another module's ``_private``."""
+
+    id = "private-import"
+    severity = "error"
+    short = "no cross-module imports of _private names"
+    rationale = ("leading-underscore names are module-local contracts; "
+                 "promote them to a public API instead of importing "
+                 "them (the PR 1 regression class)")
+    profiles = ("src",)
+
+    def check(self, context: FileContext) -> "Iterator[Finding]":
+        aliases = self._module_aliases(context)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                is_repro = (node.level > 0 or
+                            (node.module or "").split(".")[0] == "repro")
+                if not is_repro:
+                    continue
+                for alias in node.names:
+                    if _is_private(alias.name):
+                        yield self.finding(
+                            context, node,
+                            f"imports private name {alias.name!r} from "
+                            f"{node.module or 'package'}; promote it to "
+                            f"a public API instead")
+            elif isinstance(node, ast.Attribute) and \
+                    _is_private(node.attr) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id in aliases:
+                yield self.finding(
+                    context, node,
+                    f"dereferences private name "
+                    f"{aliases[node.value.id]}.{node.attr} of another "
+                    f"module; promote it to a public API instead")
+
+    @staticmethod
+    def _module_aliases(context: FileContext) -> "dict[str, str]":
+        """Local name -> imported repro module (for attribute checks)."""
+        aliases: "dict[str, str]" = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if not alias.name.startswith("repro"):
+                        continue
+                    local = alias.asname or alias.name.split(".")[0]
+                    aliases[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and \
+                    (node.module or "").startswith("repro"):
+                for alias in node.names:
+                    # ``from repro.apps import radix``-style submodule
+                    # imports; names that are functions/classes simply
+                    # never receive private attribute access.
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases

@@ -16,7 +16,7 @@ information read for the packet) map to ``route_entry``, ``radix_path``,
 from __future__ import annotations
 
 from repro.apps.base import Environment, NetBenchApp
-from repro.apps.radix import RadixTree, fnv_step, _FNV_OFFSET
+from repro.apps.radix import FNV_OFFSET, RadixTree, fnv_step
 from repro.apps.app_tl import read_destination
 from repro.net.ip import IPV4_HEADER_BYTES
 from repro.net.packet import Packet
@@ -118,7 +118,9 @@ class DrrApp(NetBenchApp):
         tail = view.read_u32(base + _TAIL)
         self.env.work(6)
         if (tail - head) & _INDEX_MASK >= RING_SLOTS:
-            self.dropped += 1
+            # Observation counter, not scheduler state: the drop decision was
+            # made from faulty-cache reads above.
+            self.dropped += 1  # reprolint: disable=sim-memory
             return False
         slot = base + _RING + 4 * (tail % RING_SLOTS)
         view.write_u32(slot, length)
@@ -134,7 +136,7 @@ class DrrApp(NetBenchApp):
         """
         view = self.env.view
         watchdog = self.make_watchdog(SERVICE_WATCHDOG_LIMIT, "drr service")
-        digest = _FNV_OFFSET
+        digest = FNV_OFFSET
         turn = view.read_u32(self.turn.address)
         self.env.work(4)
         for scan in range(self.flow_count):
@@ -159,7 +161,9 @@ class DrrApp(NetBenchApp):
                 deficit = (deficit - length) & _MASK
                 head = (head + 1) & _MASK
                 served += 1
-                self.served_bytes[flow_index] += length
+                # Observation, not scheduler state: records the length as
+                # read through the faulty cache, feeding fairness_index().
+                self.served_bytes[flow_index] += length  # reprolint: disable=sim-memory
             if (tail - head) & _INDEX_MASK == 0:
                 deficit = 0  # an emptied flow forfeits its deficit
             view.write_u32(base + _HEAD, head)

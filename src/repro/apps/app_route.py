@@ -65,7 +65,7 @@ class RouteApp(NetBenchApp):
                                  IPV4_HEADER_BYTES)
         if verify != 0:
             self.env.work(4)
-            self.dropped_checksum += 1
+            self.dropped_checksum += 1  # reprolint: disable=sim-memory (drop tally from faulty-cache reads)
             return {"checksum": (verify, 0),
                     "ttl": self.VERDICT_DROP_CHECKSUM,
                     "route_entry": ("drop", "checksum")}
@@ -73,7 +73,7 @@ class RouteApp(NetBenchApp):
         incoming_ttl = view.read_u8(self.buffer.address + 8)
         self.env.work(3)
         if incoming_ttl <= 1:
-            self.dropped_ttl += 1
+            self.dropped_ttl += 1  # reprolint: disable=sim-memory (drop tally from faulty-cache reads)
             return {"checksum": (verify, 0),
                     "ttl": self.VERDICT_DROP_TTL,
                     "route_entry": ("drop", "ttl")}

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.apps.base import Environment, NetBenchApp, copy_packet_to_memory
 from repro.apps.checksum import update_ttl_and_checksum
-from repro.apps.radix import RadixTree, fnv_step, _FNV_OFFSET
+from repro.apps.radix import FNV_OFFSET, RadixTree, fnv_step
 from repro.apps.app_tl import read_destination
 from repro.net.ip import IPV4_HEADER_BYTES
 from repro.net.packet import Packet
@@ -129,7 +129,7 @@ class UrlApp(NetBenchApp):
         when nothing matches.
         """
         view = self.env.view
-        digest = _FNV_OFFSET
+        digest = FNV_OFFSET
         best_index, best_server, best_length = -1, 0, 0
         for index in range(len(self.patterns)):
             base = self.url_table.address + index * URL_ENTRY_BYTES

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.base import Environment
-from repro.apps.radix import fnv_step, _FNV_OFFSET
+from repro.apps.radix import FNV_OFFSET, fnv_step
 from repro.cpu.watchdog import Watchdog
 from repro.mem.allocator import Region
 
@@ -87,7 +87,7 @@ class HashTable:
         """Probe for a key, reading every word through the cache."""
         view = self.env.view
         watchdog = Watchdog(self.capacity * 2, "hash-table probe")
-        digest = _FNV_OFFSET
+        digest = FNV_OFFSET
         slot = self._hash(key)
         probes = 0
         for _ in range(self.capacity):

@@ -35,7 +35,9 @@ ENTRY_BYTES = 16
 #: nodes (depths 0..32), so anything beyond this is a fault-induced cycle.
 LOOKUP_WATCHDOG_LIMIT = 128
 
-_FNV_OFFSET = 2166136261
+#: FNV-1a offset basis -- public because every kernel that digests the
+#: word sequence of a walk (hashtable, url, drr) starts from it.
+FNV_OFFSET = 2166136261
 _FNV_PRIME = 16777619
 _MASK = 0xFFFFFFFF
 
@@ -130,7 +132,7 @@ class RadixTree:
         """Longest-prefix-match walk reading every word through the cache."""
         view = self.env.view
         watchdog = self.env_watchdog()
-        digest = _FNV_OFFSET
+        digest = FNV_OFFSET
         node = self._root
         best_entry = 0
         visited = 0

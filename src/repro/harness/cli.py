@@ -7,10 +7,12 @@ Usage::
     python -m repro fig9a --packets 300 --seeds 7,11,23
     python -m repro all --max-workers 4
     python -m repro trace route --packets 200
+    python -m repro lint --json
 
 Experiment ids follow DESIGN.md's experiment index.  ``trace`` is a
 subcommand (see :mod:`repro.harness.tracecmd`): it runs one traced
-experiment and exports its telemetry event log.
+experiment and exports its telemetry event log.  ``lint`` runs
+reprolint, the AST-based invariant linter (see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -172,15 +174,19 @@ def main(argv: "list[str] | None" = None) -> int:
     if argv and argv[0] == "trace":
         from repro.harness import tracecmd
         return tracecmd.main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     renderers = _experiment_renderers()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artifacts of 'A Case for Clumsy Packet "
                     "Processors' (MICRO-37, 2004)")
     parser.add_argument("experiment",
-                        choices=sorted(renderers) + ["all", "trace"],
-                        help="experiment id from DESIGN.md, 'all', or "
-                             "'trace <app>' (traced run + event log)")
+                        choices=sorted(renderers) + ["all", "trace", "lint"],
+                        help="experiment id from DESIGN.md, 'all', "
+                             "'trace <app>' (traced run + event log), or "
+                             "'lint' (reprolint static analysis)")
     parser.add_argument("--packets", type=int, default=300,
                         help="packets per simulated run (default 300)")
     parser.add_argument("--seeds", default="7,11,23",

@@ -18,14 +18,7 @@ from repro.telemetry.events import (
     TraceEvent,
 )
 from repro.telemetry.tracer import Tracer
-
-
-def _render_table(title: str, headers: "list[str]",
-                  rows: "list[list[object]]") -> str:
-    # Imported lazily: repro.harness imports repro.telemetry, so a
-    # module-level import here would be circular.
-    from repro.harness.report import render_table
-    return render_table(title, headers, rows)
+from repro.util.text import render_table as _render_table
 
 
 def epoch_report(events: "list[TraceEvent]",

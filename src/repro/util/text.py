@@ -1,0 +1,85 @@
+"""Fixed-width text rendering of tables and figure series.
+
+Every benchmark regenerates its paper artifact as rows of an ASCII table,
+so the reproduction can be compared against the paper without plotting
+infrastructure.  These renderers live in the bottom ``util`` layer so
+that both the harness and the telemetry reporters can use them without a
+telemetry->harness import (which would violate the layering DAG that
+keeps telemetry non-perturbing).
+"""
+
+from __future__ import annotations
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats get sensible precision, others ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(title: str, headers: "list[str]",
+                 rows: "list[list[object]]") -> str:
+    """Render a titled fixed-width table with a header rule."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[format_value(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def render_row(values: "list[str]") -> str:
+        return "  ".join(value.rjust(width)
+                         for value, width in zip(values, widths))
+    lines = [title, render_row(headers),
+             render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, y_label: str,
+                  points: "list[tuple[object, object]]") -> str:
+    """Render an (x, y) series -- one curve of a paper figure."""
+    return render_table(title, [x_label, y_label],
+                        [[x, y] for x, y in points])
+
+
+def render_bar_chart(title: str, bars: "list[tuple[str, float]]",
+                     width: int = 48, ceiling: "float | None" = None) -> str:
+    """Horizontal ASCII bar chart -- the shape of the paper's Figures 9-12.
+
+    ``ceiling`` clips long bars (marked with ``>``), as the paper's figures
+    clip their axes at 2 and annotate the overflow value.
+    """
+    if not bars:
+        raise ValueError("need at least one bar")
+    if width < 8:
+        raise ValueError("width must be at least 8 characters")
+    values = [value for _, value in bars]
+    if any(value < 0 for value in values):
+        raise ValueError("bar values must be non-negative")
+    top = ceiling if ceiling is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label, _ in bars)
+    lines = [title]
+    for label, value in bars:
+        clipped = min(value, top)
+        length = round(width * clipped / top)
+        overflow = ">" if value > top else ""
+        lines.append(f"{label.rjust(label_width)}  "
+                     f"{format_value(value).rjust(7)} "
+                     f"|{'#' * length}{overflow}")
+    return "\n".join(lines)

@@ -1,0 +1,412 @@
+"""Tests for repro.analysis (reprolint).
+
+Per-rule fixtures (one violating, one clean), suppression and baseline
+round-trips, CLI/JSON behaviour, and a meta-test asserting the real
+repository tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    RULE_REGISTRY,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    make_rules,
+    module_name_for,
+    write_baseline,
+)
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def findings_for(source, path="repro/core/fixture.py", profile="src",
+                 **kwargs):
+    return lint_source(source, path, make_rules(), profile=profile,
+                       **kwargs)
+
+
+def rules_hit(source, path="repro/core/fixture.py", profile="src"):
+    return {f.rule for f in findings_for(source, path, profile)}
+
+
+# -- rule registry ------------------------------------------------------------
+
+def test_all_five_rules_registered():
+    assert {"determinism", "sim-memory", "layering", "private-import",
+            "float-equality"} <= set(RULE_REGISTRY)
+
+
+def test_rules_document_rationale():
+    for rule_class in RULE_REGISTRY.values():
+        assert rule_class.short
+        assert rule_class.rationale
+
+
+# -- determinism --------------------------------------------------------------
+
+def test_determinism_flags_module_level_random():
+    assert "determinism" in rules_hit(
+        "import random\nx = random.randint(0, 5)\n")
+
+
+def test_determinism_flags_from_random_import():
+    assert "determinism" in rules_hit("from random import shuffle\n")
+
+
+def test_determinism_allows_seeded_random_instance():
+    clean = ("import random\n"
+             "rng = random.Random(42)\n"
+             "x = rng.random()\n")
+    assert rules_hit(clean) == set()
+
+
+def test_determinism_flags_wall_clock():
+    assert "determinism" in rules_hit("import time\nt = time.time()\n")
+    assert "determinism" in rules_hit(
+        "from datetime import datetime\nd = datetime.now()\n")
+    assert "determinism" in rules_hit("import os\nb = os.urandom(8)\n")
+
+
+def test_determinism_flags_set_iteration():
+    assert "determinism" in rules_hit(
+        "for item in {1, 2, 3}:\n    print(item)\n")
+    assert "determinism" in rules_hit(
+        "values = [x for x in set(range(4))]\n")
+    assert "determinism" in rules_hit("items = list({1, 2})\n")
+
+
+def test_determinism_allows_sorted_set_iteration():
+    assert rules_hit(
+        "for item in sorted({3, 1, 2}):\n    print(item)\n") == set()
+
+
+def test_tests_profile_relaxes_set_iteration_only():
+    source = ("import random\n"
+              "for x in {1, 2}:\n"
+              "    y = random.random()\n")
+    hit = {f.rule for f in findings_for(source, "tests/helper.py",
+                                        profile="tests")}
+    assert hit == {"determinism"}
+    messages = [f.message for f in findings_for(source, "tests/helper.py",
+                                                profile="tests")]
+    assert all("unordered set" not in message for message in messages)
+    # Wall clock stays forbidden under the tests profile.
+    assert "determinism" in {
+        f.rule for f in findings_for("import time\nt = time.time()\n",
+                                     "tests/helper.py", profile="tests")}
+
+
+# -- sim-memory ---------------------------------------------------------------
+
+VIOLATING_APP = """\
+class EvilApp(NetBenchApp):
+    def __init__(self, env):
+        self.cache = {}
+    def process_packet(self, packet, index):
+        self.cache[index] = packet
+        self.last = packet
+        self.history.append(index)
+"""
+
+CLEAN_APP = """\
+class GoodApp(NetBenchApp):
+    def __init__(self, env):
+        self.buffer = env.allocator.alloc("buf", 64)
+    def control_plane(self):
+        self.table = 3
+    def process_packet(self, packet, index):
+        value = self.env.view.read_u32(self.buffer.address)
+        self.env.work(4)
+        return {"value": value}
+"""
+
+
+def test_sim_memory_flags_host_state_in_data_plane():
+    findings = findings_for(VIOLATING_APP, "repro/apps/evil.py")
+    assert sum(1 for f in findings if f.rule == "sim-memory") == 3
+
+
+def test_sim_memory_clean_app_passes():
+    assert rules_hit(CLEAN_APP, "repro/apps/good.py") == set()
+
+
+def test_sim_memory_flags_hierarchy_bypass():
+    source = ("def helper(env):\n"
+              "    return env.hierarchy.read(0, 4)\n")
+    assert "sim-memory" in rules_hit(source, "repro/apps/bad.py")
+    inspect_ok = ("def helper(env):\n"
+                  "    return env.hierarchy.inspect(0, 4)\n")
+    assert rules_hit(inspect_ok, "repro/apps/ok.py") == set()
+
+
+def test_sim_memory_scoped_to_apps():
+    assert rules_hit(VIOLATING_APP, "repro/harness/evil.py") == set()
+
+
+# -- layering -----------------------------------------------------------------
+
+def test_layering_flags_upward_import():
+    assert "layering" in rules_hit(
+        "from repro.harness.config import ExperimentConfig\n",
+        "repro/mem/fixture.py")
+
+
+def test_layering_flags_lazy_upward_import():
+    source = ("def render():\n"
+              "    from repro.harness.report import render_table\n"
+              "    return render_table\n")
+    assert "layering" in rules_hit(source, "repro/telemetry/fixture.py")
+
+
+def test_layering_flags_telemetry_from_non_consumer():
+    findings = findings_for("import repro.telemetry.tracer\n",
+                            "repro/apps/fixture.py")
+    assert any(f.rule == "layering" and "non-perturbing" in f.message
+               for f in findings)
+
+
+def test_layering_allows_declared_edges():
+    assert rules_hit("from repro.core import constants\n",
+                     "repro/mem/fixture.py") == set()
+    assert rules_hit("from repro.telemetry.tracer import NULL_TRACER\n",
+                     "repro/mem/fixture.py") == set()
+    assert rules_hit("from repro.util.text import render_table\n",
+                     "repro/telemetry/fixture.py") == set()
+
+
+def test_layering_resolves_relative_imports():
+    assert "layering" in rules_hit("from ..harness import config\n",
+                                   "repro/mem/fixture.py")
+
+
+# -- private-import -----------------------------------------------------------
+
+def test_private_import_flagged():
+    assert "private-import" in rules_hit(
+        "from repro.mem.cache import _evict_line\n",
+        "repro/harness/fixture.py")
+
+
+def test_private_attribute_access_flagged():
+    source = ("from repro.apps import radix\n"
+              "offset = radix._FNV_PRIME\n")
+    assert "private-import" in rules_hit(source, "repro/apps/fixture.py")
+
+
+def test_public_import_clean():
+    assert rules_hit("from repro.mem.cache import Cache\n",
+                     "repro/harness/fixture.py") == set()
+
+
+# -- float-equality -----------------------------------------------------------
+
+def test_float_equality_flagged():
+    assert "float-equality" in rules_hit(
+        "if result.total_energy == baseline:\n    pass\n")
+    assert "float-equality" in rules_hit(
+        "ok = delay_per_packet != 0.0\n")
+
+
+def test_float_comparison_with_tolerance_clean():
+    assert rules_hit(
+        "import math\nok = math.isclose(total_energy, 3.0)\n") == set()
+    assert rules_hit("if packet_count == 3:\n    pass\n") == set()
+
+
+# -- suppression --------------------------------------------------------------
+
+def test_line_suppression_single_rule():
+    source = ("import random\n"
+              "x = random.random()  # reprolint: disable=determinism\n")
+    assert rules_hit(source) == set()
+
+
+def test_line_suppression_does_not_leak_to_other_rules():
+    source = ("from repro.harness import config  "
+              "# reprolint: disable=determinism\n")
+    assert "layering" in rules_hit(source, "repro/mem/fixture.py")
+
+
+def test_line_suppression_all():
+    source = ("import random\n"
+              "x = random.random()  # reprolint: disable=all\n")
+    assert rules_hit(source) == set()
+
+
+def test_skip_file_pragma():
+    source = ("# reprolint: skip-file\n"
+              "import random\n"
+              "x = random.random()\n")
+    assert rules_hit(source) == set()
+
+
+# -- baseline round-trip ------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    source = "import random\nx = random.random()\n"
+    findings = findings_for(source)
+    assert findings
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(baseline_path, findings)
+    baseline = load_baseline(baseline_path)
+    new, matched, stale = apply_baseline(findings, baseline)
+    assert new == []
+    assert matched == len(findings)
+    assert stale == []
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    findings = findings_for("import random\nx = random.random()\n")
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(baseline_path, findings)
+    baseline = load_baseline(baseline_path)
+    new, matched, stale = apply_baseline([], baseline)
+    assert new == []
+    assert matched == 0
+    assert len(stale) == len({f.fingerprint for f in findings})
+
+
+def test_baseline_fingerprint_survives_line_moves():
+    before = findings_for("import random\nx = random.random()\n")
+    after = findings_for("import random\n\n\nx = random.random()\n")
+    assert [f.fingerprint for f in before] == [f.fingerprint for f in after]
+
+
+def test_shipped_baseline_is_empty():
+    baseline = load_baseline(os.path.join(REPO_ROOT,
+                                          "reprolint-baseline.json"))
+    assert baseline == {}
+
+
+# -- engine plumbing ----------------------------------------------------------
+
+def test_module_name_for_real_and_fixture_trees():
+    assert module_name_for("src/repro/mem/cache.py") == "repro.mem.cache"
+    assert module_name_for("/tmp/x/repro/apps/evil.py") == "repro.apps.evil"
+    assert module_name_for("src/repro/apps/__init__.py") == "repro.apps"
+    assert module_name_for("tests/test_analysis.py") is None
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError):
+        make_rules(disabled=["no-such-rule"])
+
+
+def test_rule_demotion_to_warning():
+    rules = make_rules(demoted=["determinism"])
+    findings = lint_source("import random\nx = random.random()\n",
+                           "repro/core/fixture.py", rules)
+    assert findings and all(f.severity == "warning" for f in findings)
+
+
+def test_syntax_error_becomes_finding(tmp_path):
+    bad = tmp_path / "repro" / "core"
+    bad.mkdir(parents=True)
+    (bad / "broken.py").write_text("def f(:\n")
+    findings = lint_paths([str(tmp_path)], make_rules())
+    assert [f.rule for f in findings] == ["parse-error"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def make_fixture_tree(tmp_path):
+    """A fixture tree with one violation of each shipped rule."""
+    root = tmp_path / "repro"
+    (root / "apps").mkdir(parents=True)
+    (root / "mem").mkdir()
+    (root / "core").mkdir()
+    (root / "core" / "bad.py").write_text(
+        "import random\n"
+        "from repro.mem.cache import _evict\n"
+        "x = random.random()\n"
+        "ok = total_energy == 1.0\n")
+    (root / "mem" / "bad.py").write_text(
+        "from repro.harness.config import ExperimentConfig\n")
+    (root / "apps" / "bad.py").write_text(
+        "class EvilApp(NetBenchApp):\n"
+        "    def process_packet(self, packet, index):\n"
+        "        self.seen = packet\n")
+    return tmp_path
+
+
+def test_cli_nonzero_on_fixture_with_every_rule(tmp_path, capsys):
+    tree = make_fixture_tree(tmp_path)
+    exit_code = lint_main([str(tree), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    for rule_id in ("determinism", "sim-memory", "layering",
+                    "private-import", "float-equality"):
+        assert rule_id in out
+
+
+def test_cli_json_round_trips(tmp_path, capsys):
+    tree = make_fixture_tree(tmp_path)
+    exit_code = lint_main([str(tree), "--no-baseline", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["errors"] == len(payload["findings"]) > 0
+    rules_seen = {f["rule"] for f in payload["findings"]}
+    assert {"determinism", "sim-memory", "layering", "private-import",
+            "float-equality"} <= rules_seen
+    for finding in payload["findings"]:
+        assert set(finding) >= {"rule", "severity", "path", "line",
+                                "column", "message", "fingerprint"}
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
+    tree = make_fixture_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([str(tree), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(tree)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+    assert "baselined" in out
+
+
+def test_cli_disable_rule(tmp_path, capsys):
+    tree = make_fixture_tree(tmp_path)
+    exit_code = lint_main([
+        str(tree / "repro" / "core"), "--no-baseline",
+        "--disable", "determinism,private-import,float-equality",
+        "--disable", "layering"])
+    assert exit_code == 0
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_REGISTRY:
+        assert rule_id in out
+
+
+# -- the real tree ------------------------------------------------------------
+
+def test_real_tree_lints_clean():
+    """``python -m repro lint`` exits 0 on the repository itself."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 error(s)" in result.stdout
+
+
+def test_real_tree_json_output_round_trips():
+    findings = lint_paths([os.path.join(REPO_ROOT, "src", "repro")],
+                          make_rules())
+    payload = json.dumps([f.to_dict() for f in findings])
+    assert json.loads(payload) == []

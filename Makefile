@@ -25,8 +25,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper artifact via the CLI (quick versions).
+# Results persist in .repro-cache, so a re-run after an interrupt or a
+# code change that doesn't bump store.CODE_VERSION simulates only what
+# is missing (DESIGN.md section 9).
 artifacts:
-	$(PYTHON) -m repro all
+	$(PYTHON) -m repro all --cache-dir .repro-cache
 
 # One traced run with event-log export (see README "Telemetry & tracing").
 trace-demo:
@@ -44,5 +47,5 @@ examples:
 all: lint test bench
 
 clean:
-	rm -rf build *.egg-info .pytest_cache .hypothesis
+	rm -rf build *.egg-info .pytest_cache .hypothesis .repro-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -8,9 +8,13 @@ and figures on disk for comparison against the paper.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
+
+from repro.harness.engine import CampaignEngine
+from repro.harness.store import ResultStore
 
 ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
 
@@ -29,6 +33,21 @@ def emit(artifact_dir):
         print(text)
         (artifact_dir / f"{experiment_id}.txt").write_text(text + "\n")
     return _emit
+
+
+@pytest.fixture(scope="session")
+def campaign_engine() -> CampaignEngine:
+    """The engine the behavioural benches run their simulations through.
+
+    Uncached by default so the benches time real simulation.  Set
+    ``REPRO_BENCH_CACHE_DIR`` to a directory to persist results between
+    runs -- a warm re-run then times the cache-decode path instead,
+    which is how the figure-regeneration speedup is measured.
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if not cache_dir:
+        return CampaignEngine()
+    return CampaignEngine(store=ResultStore(pathlib.Path(cache_dir)))
 
 
 @pytest.fixture

@@ -13,9 +13,9 @@ def max_total_error(data, plane):
 
 
 class TestFig6Route:
-    def test_fig6(self, once, emit):
+    def test_fig6(self, once, emit, campaign_engine):
         data = once(figures.error_behavior, "route", packet_count=PACKETS,
-                    seeds=SEEDS)
+                    seeds=SEEDS, engine=campaign_engine)
         emit("fig6", _render(data, "Figure 6: error probability (route)"))
         for plane in ("control", "data", "both"):
             by_cycle = data[plane]
@@ -26,9 +26,10 @@ class TestFig6Route:
             # Errors grow as the clock rises (Figure 6's common shape).
             assert quarter >= nominal
 
-    def test_fig6_both_planes_dominate_each_alone(self, once):
+    def test_fig6_both_planes_dominate_each_alone(self, once,
+                                                  campaign_engine):
         data = figures.error_behavior("route", packet_count=PACKETS,
-                                      seeds=SEEDS)
+                                      seeds=SEEDS, engine=campaign_engine)
         # Figure 6(c) vs 6(a)/6(b): both-planes injection produces at
         # least as much error as the larger single plane at Cr = 0.25.
         both = sum(v for k, v in data["both"][0.25].items() if k != "fatal")
@@ -38,9 +39,9 @@ class TestFig6Route:
 
 
 class TestFig7Nat:
-    def test_fig7(self, once, emit):
+    def test_fig7(self, once, emit, campaign_engine):
         text = once(figures.fig7_nat_errors, packet_count=PACKETS,
-                    seeds=SEEDS)
+                    seeds=SEEDS, engine=campaign_engine)
         emit("fig7", text)
         assert "nat" in text
         assert "control" in text and "data" in text

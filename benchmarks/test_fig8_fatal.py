@@ -7,9 +7,10 @@ SEEDS = (7, 11, 23, 31, 43)
 
 
 class TestFig8:
-    def test_fig8(self, once, emit):
+    def test_fig8(self, once, emit, campaign_engine):
         data = once(figures.fig8_fatal_probabilities,
-                    packet_count=PACKETS, seeds=SEEDS)
+                    packet_count=PACKETS, seeds=SEEDS,
+                    engine=campaign_engine)
         emit("fig8", figures.render_fig8_from(data))
         # Shape anchors from Section 5.3 / Figure 8:
         # fatal errors are absent at the nominal clock...

@@ -32,11 +32,11 @@ PANELS = (
 _CELL_CACHE: "dict[str, list]" = {}
 
 
-def cells_for(app):
+def cells_for(app, engine=None):
     if app not in _CELL_CACHE:
         _CELL_CACHE[app] = figures.edf_products(
             app, packet_count=PACKETS, seeds=SEEDS,
-            fault_scale=FAULT_SCALE)
+            fault_scale=FAULT_SCALE, engine=engine)
     return _CELL_CACHE[app]
 
 
@@ -46,8 +46,9 @@ def cell_index(cells):
 
 @pytest.mark.parametrize("experiment_id,label,app", PANELS)
 class TestEdfPanels:
-    def test_panel(self, once, emit, experiment_id, label, app):
-        cells = once(cells_for, app)
+    def test_panel(self, once, emit, campaign_engine, experiment_id, label,
+                   app):
+        cells = once(cells_for, app, campaign_engine)
         emit(experiment_id, figures.render_edf_cells(cells, app, label))
         index = cell_index(cells)
 
@@ -69,8 +70,9 @@ class TestEdfPanels:
 
 
 class TestFig12bAverage:
-    def test_average(self, once, emit):
-        cells_by_app = {app: cells_for(app) for _, _, app in PANELS}
+    def test_average(self, once, emit, campaign_engine):
+        cells_by_app = {app: cells_for(app, campaign_engine)
+                        for _, _, app in PANELS}
         data = once(figures.average_edf_from, cells_by_app)
         emit("fig12b", figures.render_average_edf_from(data))
 

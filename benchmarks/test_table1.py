@@ -8,8 +8,9 @@ SEEDS = (7, 11, 23)
 
 
 class TestTable1:
-    def test_table1(self, once, emit):
-        rows = once(table1, packet_count=PACKETS, seeds=SEEDS)
+    def test_table1(self, once, emit, campaign_engine):
+        rows = once(table1, packet_count=PACKETS, seeds=SEEDS,
+                    engine=campaign_engine)
         emit("table1", render_table1(rows))
         by_app = {row.app: row for row in rows}
         assert set(by_app) == set(NETBENCH_APPS)

@@ -41,13 +41,20 @@ from repro.core import (
     fallibility_factor,
     policy_by_name,
 )
-from repro.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness import (
+    CampaignEngine,
+    ExperimentConfig,
+    ExperimentResult,
+    ResultStore,
+    run_experiment,
+)
 from repro.telemetry import NULL_TRACER, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_POLICIES",
+    "CampaignEngine",
     "DynamicFrequencyController",
     "EnergyAccount",
     "EnergyModel",
@@ -62,6 +69,7 @@ __all__ = [
     "ONE_STRIKE",
     "PAPER_EXPONENTS",
     "RecoveryPolicy",
+    "ResultStore",
     "THREE_STRIKE",
     "TWO_STRIKE",
     "Tracer",

@@ -40,14 +40,18 @@ LAYER_DAG: "dict[str, frozenset[str]]" = {
                          "telemetry", "util"}),
     "harness": frozenset({"net", "mem", "cpu", "core", "apps",
                           "telemetry", "system", "analysis", "util"}),
+    # The public facade (repro/api.py) sits beside the package root: it
+    # re-exports the supported surface and may therefore reach anything.
+    "api": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
+                      "system", "harness", "analysis", "util"}),
     "repro": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                        "system", "harness", "analysis", "util"}),
+                        "system", "harness", "analysis", "util", "api"}),
 }
 
 #: Layers that may import :mod:`repro.telemetry` (the instrumented
 #: consumers); implied by LAYER_DAG but named for the error message.
 TELEMETRY_CONSUMERS = frozenset({"mem", "system", "harness", "telemetry",
-                                 "repro"})
+                                 "api", "repro"})
 
 
 def _imported_repro_modules(context: FileContext,

@@ -8,6 +8,14 @@ and importing one from another module couples callers to internals that
 may change without notice.  The fix is always to promote the name (as
 PR 2 did for ``repro.apps.radix.FNV_OFFSET``) or to add a public
 wrapper -- never to suppress.
+
+The rule also audits the public facade (``repro/api.py``): the facade
+is the supported import surface, so nothing outside ``repro/`` may be
+needed to use it.  Every import in the facade must target ``repro.*``
+(plus ``__future__``), it must declare an explicit ``__all__``, and
+every ``__all__`` entry must be a public name actually bound in the
+module -- an unbound or private export would force callers back onto
+internal paths.
 """
 
 from __future__ import annotations
@@ -23,6 +31,10 @@ def _is_private(name: str) -> bool:
     return name.startswith("_") and not name.startswith("__")
 
 
+#: The public facade module audited for self-containment.
+API_FACADE_MODULE = "repro.api"
+
+
 @register
 class PrivateImportRule(Rule):
     """Forbid importing or dereferencing another module's ``_private``."""
@@ -36,6 +48,8 @@ class PrivateImportRule(Rule):
     profiles = ("src",)
 
     def check(self, context: FileContext) -> "Iterator[Finding]":
+        if context.module == API_FACADE_MODULE:
+            yield from self._check_api_facade(context)
         aliases = self._module_aliases(context)
         for node in ast.walk(context.tree):
             if isinstance(node, ast.ImportFrom):
@@ -59,6 +73,60 @@ class PrivateImportRule(Rule):
                     f"dereferences private name "
                     f"{aliases[node.value.id]}.{node.attr} of another "
                     f"module; promote it to a public API instead")
+
+    def _check_api_facade(self, context: FileContext,
+                          ) -> "Iterator[Finding]":
+        """The facade must be usable with nothing outside ``repro/``."""
+        bound: "set[str]" = set()
+        exported: "list[tuple[ast.AST, str]]" = []
+        has_all = False
+        for node in context.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level > 0 or (module != "__future__" and
+                                      module.split(".")[0] != "repro"):
+                    yield self.finding(
+                        context, node,
+                        f"the public facade imports from {module or '.'}: "
+                        f"nothing outside repro/ may be needed to use "
+                        f"repro.api")
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                yield self.finding(
+                    context, node,
+                    "the public facade must use 'from repro... import' "
+                    "so every exported name is bound locally")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                        if target.id == "__all__" and \
+                                isinstance(node.value, (ast.List, ast.Tuple)):
+                            has_all = True
+                            for element in node.value.elts:
+                                if isinstance(element, ast.Constant) and \
+                                        isinstance(element.value, str):
+                                    exported.append((element, element.value))
+        if not has_all:
+            yield self.finding(
+                context, context.tree,
+                "the public facade must declare an explicit __all__ "
+                "listing the supported surface")
+            return
+        for node, name in exported:
+            if _is_private(name):
+                yield self.finding(
+                    context, node,
+                    f"the public facade exports private name {name!r}")
+            elif name not in bound:
+                yield self.finding(
+                    context, node,
+                    f"__all__ lists {name!r} but the facade never binds "
+                    f"it; export it via 'from repro... import'")
 
     @staticmethod
     def _module_aliases(context: FileContext) -> "dict[str, str]":

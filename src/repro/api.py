@@ -1,0 +1,92 @@
+"""The stable public API of the reproduction.
+
+This module is *the* supported import surface: everything an external
+caller needs to configure, run, persist, and resume experiments is
+re-exported here under one roof, and nothing outside the ``repro``
+package is required to use it (reprolint's ``private-import`` rule
+checks both properties against this file's ``__all__``).
+
+Internal module paths (``repro.harness.experiment``,
+``repro.harness.store``, ...) remain importable but are not covenants;
+code that wants stability across versions should import from
+``repro.api``::
+
+    from repro.api import (
+        CampaignEngine, ExperimentConfig, ResultStore, run_experiment,
+    )
+
+    engine = CampaignEngine(store=ResultStore(".repro-cache"))
+    results = engine.run([ExperimentConfig(app="route", cycle_time=0.5)])
+
+The surface covers four layers of use:
+
+* **single runs** -- :class:`ExperimentConfig`, :func:`run_experiment`,
+  :class:`ExperimentResult` (JSON round-trip via ``to_json``/``from_json``);
+* **sweeps and campaigns** -- :func:`run_experiments`, :func:`sweep`,
+  :class:`CampaignEngine`, :func:`default_engine`, :func:`map_parallel`;
+* **persistence** -- :class:`ResultStore`, :func:`config_key`,
+  :func:`canonical_json`, :func:`save_results`, :func:`load_results`;
+* **policies and systems** -- the paper's recovery policies,
+  :func:`policy_by_name`, :func:`run_multicore`, and the
+  :class:`Tracer` observation hook.
+"""
+
+from __future__ import annotations
+
+from repro.core.recovery import (
+    ALL_POLICIES,
+    EXTENSION_POLICIES,
+    NO_DETECTION,
+    ONE_STRIKE,
+    RecoveryPolicy,
+    THREE_STRIKE,
+    TWO_STRIKE,
+    policy_by_name,
+)
+from repro.harness.config import DEFAULT_FAULT_SCALE, PLANES, ExperimentConfig
+from repro.harness.engine import CampaignEngine, default_engine
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.parallel import map_parallel, run_experiments
+from repro.harness.store import (
+    CODE_VERSION,
+    ResultStore,
+    canonical_json,
+    config_key,
+    load_results,
+    save_results,
+)
+from repro.harness.sweep import SweepPoint, sweep
+from repro.system.multicore import MulticoreResult, run_multicore
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "ALL_POLICIES",
+    "CODE_VERSION",
+    "CampaignEngine",
+    "DEFAULT_FAULT_SCALE",
+    "EXTENSION_POLICIES",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MulticoreResult",
+    "NO_DETECTION",
+    "NULL_TRACER",
+    "ONE_STRIKE",
+    "PLANES",
+    "RecoveryPolicy",
+    "ResultStore",
+    "SweepPoint",
+    "THREE_STRIKE",
+    "TWO_STRIKE",
+    "Tracer",
+    "canonical_json",
+    "config_key",
+    "default_engine",
+    "load_results",
+    "map_parallel",
+    "policy_by_name",
+    "run_experiment",
+    "run_experiments",
+    "run_multicore",
+    "save_results",
+    "sweep",
+]

@@ -7,6 +7,19 @@ from repro.harness.campaign import (
     run_campaign,
 )
 from repro.harness.config import DEFAULT_FAULT_SCALE, PLANES, ExperimentConfig
+from repro.harness.engine import (
+    CampaignEngine,
+    DEFAULT_CHUNK_SIZE,
+    default_engine,
+)
+from repro.harness.store import (
+    CODE_VERSION,
+    ResultStore,
+    canonical_json,
+    config_key,
+    load_results,
+    save_results,
+)
 from repro.harness.experiment import (
     ExperimentResult,
     RunOutcome,
@@ -29,9 +42,18 @@ from repro.harness.tables import Table1Row, render_table1, table1
 from repro.harness.report import render_series, render_table
 
 __all__ = [
+    "CODE_VERSION",
+    "CampaignEngine",
     "CampaignResult",
+    "DEFAULT_CHUNK_SIZE",
     "DEFAULT_FAULT_SCALE",
+    "ResultStore",
     "SingleFaultInjector",
+    "canonical_json",
+    "config_key",
+    "default_engine",
+    "load_results",
+    "save_results",
     "ExperimentConfig",
     "ExperimentResult",
     "PLANES",

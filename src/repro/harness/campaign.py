@@ -17,11 +17,8 @@ import random
 from dataclasses import dataclass
 
 from repro.harness.config import ExperimentConfig
-from repro.harness.experiment import (
-    golden_observations,
-    load_workload,
-    run_experiment,
-)
+from repro.harness.engine import CampaignEngine, default_engine
+from repro.harness.experiment import golden_observations, load_workload
 from repro.harness.report import render_table
 from repro.harness.vulnerability import merge_buffer_labels
 from repro.mem.faults import FaultEvent, FaultInjector
@@ -101,22 +98,26 @@ def run_campaign(
     config: ExperimentConfig,
     trials: int = 50,
     seed: int = 101,
+    engine: "CampaignEngine | None" = None,
 ) -> CampaignResult:
     """Run ``trials`` single-fault experiments at random access indices.
 
     The base ``config`` supplies app/clock/policy; its ``fault_scale`` is
     ignored (each trial injects exactly one fault).  Access indices are
     sampled uniformly over the accesses a fault-free run performs in the
-    active plane(s).
+    active plane(s).  Trials run through ``engine.run_one`` -- the
+    scripted injector makes them uncacheable, so they count in the
+    engine's progress counters but never touch its store.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
+    engine = engine if engine is not None else default_engine()
     workload = load_workload(config)
     golden_observations(workload, config)  # warm the golden cache once
     # Measure the eligible access count with a probe run whose fault
     # never fires (its draw() still counts every eligible access).
     probe = SingleFaultInjector(target_access=1 << 62)
-    run_experiment(config, injector_override=probe)
+    engine.run_one(config, injector_override=probe)
     total_accesses = probe._access_count
     if total_accesses == 0:
         raise RuntimeError("the workload performed no eligible accesses")
@@ -126,7 +127,7 @@ def run_campaign(
         target = rng.randrange(total_accesses)
         injector = SingleFaultInjector(target_access=target,
                                        bit_seed=seed + trial_number)
-        result = run_experiment(config, injector_override=injector)
+        result = engine.run_one(config, injector_override=injector)
         structure = None
         is_write = False
         if injector.fired and result.fault_sites:

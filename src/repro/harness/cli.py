@@ -5,7 +5,8 @@ Usage::
     python -m repro table1
     python -m repro fig5
     python -m repro fig9a --packets 300 --seeds 7,11,23
-    python -m repro all --max-workers 4
+    python -m repro all --max-workers 4 --cache-dir .repro-cache
+    python -m repro fig9a --resume
     python -m repro trace route --packets 200
     python -m repro lint --json
 
@@ -13,6 +14,15 @@ Experiment ids follow DESIGN.md's experiment index.  ``trace`` is a
 subcommand (see :mod:`repro.harness.tracecmd`): it runs one traced
 experiment and exports its telemetry event log.  ``lint`` runs
 reprolint, the AST-based invariant linter (see :mod:`repro.analysis`).
+
+Caching: ``--cache-dir PATH`` routes every simulation through the
+content-addressed result store (see :mod:`repro.harness.store`), so a
+repeated or interrupted invocation re-runs only configs the store does
+not already hold.  ``--resume`` is the shorthand that re-attaches the
+default cache directory; ``--no-cache`` forces a cold run.  A one-line
+campaign summary (``configs= cache_hits= simulated= chunks=``) is
+printed to stderr whenever caching is active -- CI asserts
+``simulated=0`` on the second of two identical runs.
 """
 
 from __future__ import annotations
@@ -21,32 +31,39 @@ import argparse
 import sys
 
 from repro.harness import figures, tables
+from repro.harness.engine import CampaignEngine
 from repro.harness.parallel import map_parallel
+from repro.harness.store import ResultStore
+
+#: Cache directory used by ``--resume`` when ``--cache-dir`` is absent.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _edf_renderer(app: str, figure_name: str):
-    def render(packets: int, seeds: "tuple[int, ...]") -> str:
+    def render(packets: int, seeds: "tuple[int, ...]",
+               engine: CampaignEngine) -> str:
         return figures.render_edf(app, figure_name, packet_count=packets,
-                                  seeds=seeds)
+                                  seeds=seeds, engine=engine)
     return render
 
 
 def _experiment_renderers() -> "dict[str, object]":
-    """Experiment id -> callable(packets, seeds) -> str."""
+    """Experiment id -> callable(packets, seeds, engine) -> str."""
     return {
-        "table1": lambda packets, seeds: tables.render_table1(
-            tables.table1(packet_count=packets, seeds=seeds)),
-        "fig1b": lambda packets, seeds: figures.render_fig1b(),
-        "fig2b": lambda packets, seeds: figures.render_fig2b(),
-        "fig3": lambda packets, seeds: figures.render_fig3(),
-        "fig4": lambda packets, seeds: figures.render_fig4(),
-        "fig5": lambda packets, seeds: figures.render_fig5(),
-        "fig6": lambda packets, seeds: figures.fig6_route_errors(
-            packet_count=packets, seeds=seeds),
-        "fig7": lambda packets, seeds: figures.fig7_nat_errors(
-            packet_count=packets, seeds=seeds),
-        "fig8": lambda packets, seeds: figures.render_fig8(
-            packet_count=packets, seeds=seeds),
+        "table1": lambda packets, seeds, engine: tables.render_table1(
+            tables.table1(packet_count=packets, seeds=seeds,
+                          engine=engine)),
+        "fig1b": lambda packets, seeds, engine: figures.render_fig1b(),
+        "fig2b": lambda packets, seeds, engine: figures.render_fig2b(),
+        "fig3": lambda packets, seeds, engine: figures.render_fig3(),
+        "fig4": lambda packets, seeds, engine: figures.render_fig4(),
+        "fig5": lambda packets, seeds, engine: figures.render_fig5(),
+        "fig6": lambda packets, seeds, engine: figures.fig6_route_errors(
+            packet_count=packets, seeds=seeds, engine=engine),
+        "fig7": lambda packets, seeds, engine: figures.fig7_nat_errors(
+            packet_count=packets, seeds=seeds, engine=engine),
+        "fig8": lambda packets, seeds, engine: figures.render_fig8(
+            packet_count=packets, seeds=seeds, engine=engine),
         "fig9a": _edf_renderer("route", "Figure 9(a)"),
         "fig9b": _edf_renderer("crc", "Figure 9(b)"),
         "fig10a": _edf_renderer("md5", "Figure 10(a)"),
@@ -54,31 +71,31 @@ def _experiment_renderers() -> "dict[str, object]":
         "fig11a": _edf_renderer("drr", "Figure 11(a)"),
         "fig11b": _edf_renderer("nat", "Figure 11(b)"),
         "fig12a": _edf_renderer("url", "Figure 12(a)"),
-        "fig12b": lambda packets, seeds: figures.render_average_edf(
-            packet_count=packets, seeds=seeds),
+        "fig12b": lambda packets, seeds, engine: figures.render_average_edf(
+            packet_count=packets, seeds=seeds, engine=engine),
         "ext_optimum": _render_optimum,
-        "ext_dvs": lambda packets, seeds: _render_dvs(),
+        "ext_dvs": lambda packets, seeds, engine: _render_dvs(),
         "ext_multicore": _render_multicore,
         "ext_anatomy": _render_anatomy,
     }
 
 
-def _render_optimum(packets: int, seeds: "tuple[int, ...]") -> str:
+def _render_optimum(packets: int, seeds: "tuple[int, ...]",
+                    engine: CampaignEngine) -> str:
     """Analytic operating-point prediction per application."""
     from repro.core.optimum import OperatingPointModel
     from repro.core.recovery import NO_DETECTION
     from repro.core.constants import NETBENCH_APPS
     from repro.harness.config import ExperimentConfig
-    from repro.harness.experiment import run_experiment
     from repro.harness.profile import profile_workload
     from repro.harness.report import render_table
 
+    observed_runs = engine.run([ExperimentConfig(
+        app=app, packet_count=packets, seed=seeds[0], cycle_time=0.25,
+        policy=NO_DETECTION, fault_scale=20.0) for app in NETBENCH_APPS])
     rows = []
-    for app in NETBENCH_APPS:
+    for app, observed in zip(NETBENCH_APPS, observed_runs):
         profile = profile_workload(app, packet_count=packets, seed=seeds[0])
-        observed = run_experiment(ExperimentConfig(
-            app=app, packet_count=packets, seed=seeds[0], cycle_time=0.25,
-            policy=NO_DETECTION, fault_scale=20.0))
         model = OperatingPointModel(
             profile, policy=NO_DETECTION, fault_scale=20.0,
         ).calibrate_conversion(observed.fallibility, 0.25)
@@ -111,8 +128,9 @@ def _render_dvs() -> str:
         ["speed", "clumsy energy", "clumsy fault x", "dvs energy"], rows)
 
 
-def _render_multicore(packets: int, seeds: "tuple[int, ...]") -> str:
-    """Engine-count scaling table."""
+def _render_multicore(packets: int, seeds: "tuple[int, ...]",
+                      engine: CampaignEngine) -> str:
+    """Engine-count scaling table (multicore runs are not config-shaped)."""
     from repro.core.recovery import TWO_STRIKE
     from repro.harness.report import render_table
     from repro.system.multicore import run_multicore
@@ -133,24 +151,25 @@ def _render_multicore(packets: int, seeds: "tuple[int, ...]") -> str:
          "wedged"], rows)
 
 
-def _render_anatomy(packets: int, seeds: "tuple[int, ...]") -> str:
+def _render_anatomy(packets: int, seeds: "tuple[int, ...]",
+                    engine: CampaignEngine) -> str:
     """Fault attribution for the route application."""
     from repro.core.recovery import NO_DETECTION
     from repro.harness.config import ExperimentConfig
-    from repro.harness.experiment import run_experiment
     from repro.harness.vulnerability import (
         attribute_faults,
         render_vulnerability,
     )
 
+    runs = engine.run([ExperimentConfig(
+        app="route", packet_count=packets, seed=seed, cycle_time=0.25,
+        policy=NO_DETECTION, fault_scale=20.0, planes="data")
+        for seed in seeds])
     sites = []
     regions = None
     errors = 0
     faults = 0
-    for seed in seeds:
-        run = run_experiment(ExperimentConfig(
-            app="route", packet_count=packets, seed=seed, cycle_time=0.25,
-            policy=NO_DETECTION, fault_scale=20.0, planes="data"))
+    for run in runs:
         sites.extend(run.fault_sites)
         regions = run.regions
         errors += run.erroneous_packets
@@ -161,10 +180,24 @@ def _render_anatomy(packets: int, seeds: "tuple[int, ...]") -> str:
         rows, unattributed, errors, faults)
 
 
-def _render_job(job: "tuple[str, int, tuple[int, ...]]") -> str:
-    """Render one experiment id (picklable worker for --max-workers)."""
-    name, packets, seeds = job
-    return _experiment_renderers()[name](packets, seeds)
+def _build_engine(cache_dir: "str | None",
+                  max_workers: "int | None") -> CampaignEngine:
+    """One engine per process, from the picklable job spec."""
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    return CampaignEngine(store=store, max_workers=max_workers)
+
+
+def _render_job(job: "tuple[str, int, tuple[int, ...], str | None, int]",
+                ) -> "tuple[str, dict[str, int]]":
+    """Render one experiment id (picklable worker for --max-workers).
+
+    Returns the artifact text plus the job engine's counter snapshot so
+    the parent can aggregate a campaign summary across processes.
+    """
+    name, packets, seeds, cache_dir, engine_workers = job
+    engine = _build_engine(cache_dir, engine_workers)
+    output = _experiment_renderers()[name](packets, seeds, engine)
+    return output, engine.counters.snapshot()
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -195,14 +228,46 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="processes for multi-experiment runs "
                              "(default 1 = serial; experiments are "
                              "independent, so output is order-stable)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="content-addressed result store: reuse any "
+                             "result already present, persist the rest "
+                             "(atomic per-chunk writes)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep: shorthand for "
+                             f"--cache-dir {DEFAULT_CACHE_DIR} when no "
+                             "cache dir is given (only missing configs "
+                             "re-run)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="force recomputation; do not read or write "
+                             "any result store")
     args = parser.parse_args(argv)
+    if args.no_cache and (args.cache_dir or args.resume):
+        parser.error("--no-cache conflicts with --cache-dir/--resume")
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
     seeds = tuple(int(part) for part in args.seeds.split(","))
     names = sorted(renderers) if args.experiment == "all" else [args.experiment]
-    jobs = [(name, args.packets, seeds) for name in names]
-    for output in map_parallel(_render_job, jobs,
-                               max_workers=args.max_workers):
+    # Two fan-out levels exist: across experiment ids and across one
+    # campaign's chunks.  Give --max-workers to whichever level has the
+    # parallelism (chunk-level for a single id, job-level for 'all').
+    job_workers = args.max_workers if len(names) > 1 else 1
+    engine_workers = args.max_workers if len(names) == 1 else 1
+    jobs = [(name, args.packets, seeds, cache_dir, engine_workers)
+            for name in names]
+    totals: "dict[str, int]" = {}
+    for output, counters in map_parallel(_render_job, jobs,
+                                         max_workers=job_workers):
         print(output)
         print()
+        for counter, value in counters.items():
+            totals[counter] = totals.get(counter, 0) + value
+    if cache_dir is not None:
+        summary = " ".join(
+            f"{name.split('.', 1)[1]}={totals.get(name, 0)}"
+            for name in ("campaign.configs", "campaign.cache_hits",
+                         "campaign.simulated", "campaign.chunks"))
+        print(f"campaign: {summary} (cache: {cache_dir})", file=sys.stderr)
     return 0
 
 

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
-from repro.core.recovery import NO_DETECTION, RecoveryPolicy
+from repro.core.recovery import NO_DETECTION, RecoveryPolicy, policy_by_name
 
 #: Where fault injection is active (paper Figures 6/7 study the planes
 #: separately).
@@ -91,3 +91,96 @@ class ExperimentConfig:
         if self.control_cycle_time is not None:
             clock += f"/ctl={self.control_cycle_time}"
         return f"{self.app}/{clock}/{self.policy.name}/{self.planes}"
+
+    def golden(self) -> "ExperimentConfig":
+        """The fault-free reference variant of this configuration.
+
+        Golden observations depend only on the workload identity (app,
+        packet count, seed, workload kwargs) -- never on the clock,
+        policy, or fault scale -- so the golden config drops every other
+        axis back to its default.  This is the one sanctioned way to
+        build a reference run (the profiler and the golden cache both
+        use it).
+        """
+        return ExperimentConfig(
+            app=self.app, packet_count=self.packet_count, seed=self.seed,
+            workload_kwargs=dict(self.workload_kwargs))
+
+    def to_json(self) -> "dict[str, object]":
+        """Canonical JSON-safe representation (the store key's substrate).
+
+        The mapping is lossless and stable: every simulation-relevant
+        field appears under its dataclass name, the recovery policy is
+        serialized as its registry *name* when registered (enums as
+        names) and as its field mapping otherwise, and the ``tracer`` is
+        excluded -- tracing is pure observation and never part of a
+        config's identity.  ``workload_kwargs`` must hold JSON-safe
+        scalars (they already must be picklable and hashable-sortable
+        for the golden cache).
+        """
+        try:
+            registered = policy_by_name(self.policy.name)
+        except ValueError:
+            registered = None
+        policy: "object" = (self.policy.name if registered == self.policy
+                            else {"name": self.policy.name,
+                                  "strikes": self.policy.strikes,
+                                  "code": self.policy.code,
+                                  "sub_block": self.policy.sub_block})
+        return {
+            "app": self.app,
+            "packet_count": self.packet_count,
+            "seed": self.seed,
+            "cycle_time": self.cycle_time,
+            "control_cycle_time": self.control_cycle_time,
+            "policy": policy,
+            "dynamic": self.dynamic,
+            "fault_scale": self.fault_scale,
+            "planes": self.planes,
+            "quarter_cycle_multiplier": self.quarter_cycle_multiplier,
+            "memory_size": self.memory_size,
+            "l1_size_bytes": self.l1_size_bytes,
+            "l1_associativity": self.l1_associativity,
+            "burst_start_probability": self.burst_start_probability,
+            "burst_length": self.burst_length,
+            "burst_multiplier": self.burst_multiplier,
+            "l2_fill_fault_probability": self.l2_fill_fault_probability,
+            "workload_kwargs": dict(self.workload_kwargs),
+        }
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_json` output (or CLI fields).
+
+        ``policy`` may be a registry name (``"two-strike"``) or a field
+        mapping for unregistered policies.  Unknown keys are rejected so
+        stale cache entries fail loudly instead of silently dropping an
+        axis.  Validation runs through ``__post_init__`` as usual.
+        """
+        payload = dict(data)
+        policy = payload.pop("policy", NO_DETECTION)
+        if isinstance(policy, str):
+            policy = policy_by_name(policy)
+        elif isinstance(policy, dict):
+            policy = RecoveryPolicy(**policy)
+        field_names = {
+            "app", "packet_count", "seed", "cycle_time",
+            "control_cycle_time", "dynamic", "fault_scale", "planes",
+            "quarter_cycle_multiplier", "memory_size", "l1_size_bytes",
+            "l1_associativity", "burst_start_probability", "burst_length",
+            "burst_multiplier", "l2_fill_fault_probability",
+            "workload_kwargs"}
+        unknown = sorted(set(payload) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig field(s) {unknown}; the entry "
+                f"was written by an incompatible schema")
+        kwargs = {name: payload[name] for name in field_names
+                  if name in payload}
+        if "workload_kwargs" in kwargs:
+            kwargs["workload_kwargs"] = dict(kwargs["workload_kwargs"])
+        return cls(policy=policy, **kwargs)
+
+    def with_tracer(self, tracer: "object | None") -> "ExperimentConfig":
+        """This config with a tracer attached (identity unchanged)."""
+        return replace(self, tracer=tracer)

@@ -1,0 +1,157 @@
+"""The campaign engine: cached, resumable, parallel experiment sweeps.
+
+Every consumer of multi-config execution -- the figure and table
+generators, the cartesian sweeps, the single-fault campaigns, the CLI --
+funnels through :class:`CampaignEngine`.  The engine:
+
+1. content-addresses every requested config through the
+   :class:`~repro.harness.store.ResultStore` (when one is attached) and
+   partitions the request into *cached* and *missing*;
+2. fans the missing configs across
+   :func:`~repro.harness.parallel.map_parallel` in deterministic,
+   input-ordered chunks;
+3. persists each chunk atomically as it completes (temp-file + rename),
+   so an interrupted campaign loses at most the in-flight chunk and a
+   re-run executes only the still-missing configs -- resume is not a
+   mode, it is the partition step doing its job;
+4. reports progress through the telemetry
+   :class:`~repro.telemetry.metrics.CounterSet` (``campaign.configs``,
+   ``campaign.cache_hits``, ``campaign.simulated``, ``campaign.chunks``,
+   ``campaign.uncacheable``) plus an optional ``progress`` callback.
+
+Determinism is untouched: a result depends only on its config, never on
+chunking, scheduling, or whether it came from the store -- the warm-cache
+equality tests assert ``repr``-identity between the two paths.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.parallel import map_parallel
+from repro.harness.store import ResultStore, config_key
+from repro.telemetry.metrics import CounterSet
+
+#: Configs simulated (and then persisted) per atomic store write.  Small
+#: enough that a killed sweep rarely loses more than a minute of work,
+#: large enough to amortise process fan-out.
+DEFAULT_CHUNK_SIZE = 16
+
+
+def _worker(config: ExperimentConfig) -> ExperimentResult:
+    """Picklable chunk worker (module-level for ProcessPoolExecutor)."""
+    return run_experiment(config)
+
+
+class CampaignEngine:
+    """Runs lists of configs through the cache/fan-out/persist pipeline."""
+
+    def __init__(
+        self,
+        store: "ResultStore | None" = None,
+        max_workers: "int | None" = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        progress: "object | None" = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk size must be positive")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.store = store
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.counters = CounterSet()
+        #: Optional callable(str) receiving one line per completed chunk.
+        self.progress = progress
+
+    # -- the public run API ---------------------------------------------------
+
+    def run(self, configs: "list[ExperimentConfig]",
+            ) -> "list[ExperimentResult]":
+        """Run every config (cache-first), returning results in input order.
+
+        Duplicate configs (same content address) simulate once and share
+        the result.  An empty list -- e.g. an all-cached campaign after
+        partitioning elsewhere -- returns an empty list.
+        """
+        self.counters.bump("campaign.runs")
+        self.counters.bump("campaign.configs", len(configs))
+        if not configs:
+            return []
+        keys = [self._key(config) for config in configs]
+        resolved: "dict[str, ExperimentResult]" = {}
+        missing: "dict[str, ExperimentConfig]" = {}
+        for key, config in zip(keys, configs):
+            if key in resolved or key in missing:
+                continue
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                resolved[key] = cached
+                self.counters.bump("campaign.cache_hits")
+            else:
+                missing[key] = config
+        self.counters.bump("campaign.missing", len(missing))
+        pending = list(missing.items())
+        done = 0
+        for start in range(0, len(pending), self.chunk_size):
+            chunk = pending[start:start + self.chunk_size]
+            outcomes = map_parallel(_worker,
+                                    [config for _, config in chunk],
+                                    max_workers=self.max_workers)
+            if self.store is not None:
+                self.store.put_many(outcomes)
+            for (key, _), outcome in zip(chunk, outcomes):
+                resolved[key] = outcome
+            self.counters.bump("campaign.simulated", len(chunk))
+            self.counters.bump("campaign.chunks")
+            done += len(chunk)
+            hits = self.counters.get("campaign.cache_hits")
+            self._report(f"campaign: {done}/{len(pending)} simulated "
+                         f"({hits} cached)")
+        return [resolved[key] for key in keys]
+
+    def run_one(
+        self,
+        config: ExperimentConfig,
+        injector_override: "object | None" = None,
+        tracer: "object | None" = None,
+    ) -> ExperimentResult:
+        """One uncacheable run (scripted injectors, attached tracers).
+
+        An ``injector_override`` makes the outcome depend on state outside
+        the config, so it must never be filed under the config's content
+        address; this path bypasses the store entirely while still
+        counting toward the campaign's progress counters.
+        """
+        self.counters.bump("campaign.uncacheable")
+        return run_experiment(config, injector_override=injector_override,
+                              tracer=tracer)
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line progress/result summary (stable ``name=value`` pairs)."""
+        names = ("configs", "cache_hits", "simulated", "chunks",
+                 "uncacheable")
+        return "campaign: " + " ".join(
+            f"{name}={self.counters.get('campaign.' + name)}"
+            for name in names)
+
+    def _key(self, config: ExperimentConfig) -> str:
+        if self.store is not None:
+            return self.store.key_for(config)
+        return config_key(config)
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+
+#: Shared uncached, serial engine: the default execution path for the
+#: figure/table/sweep consumers when no engine is passed explicitly.
+_DEFAULT_ENGINE = CampaignEngine()
+
+
+def default_engine() -> CampaignEngine:
+    """The process-wide default engine (no store, serial, no progress)."""
+    return _DEFAULT_ENGINE

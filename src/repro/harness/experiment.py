@@ -34,7 +34,7 @@ from repro.core.metrics import (
 from repro.cpu.processor import Processor
 from repro.cpu.watchdog import FatalExecutionError
 from repro.harness.config import ExperimentConfig
-from repro.mem.allocator import BumpAllocator
+from repro.mem.allocator import BumpAllocator, Region
 from repro.mem.errors import MemoryAccessError
 from repro.mem.faults import FaultInjector
 from repro.mem.hierarchy import MemoryHierarchy
@@ -133,6 +133,64 @@ class ExperimentResult:
         return energy_delay_fallibility(
             self.energy["total"], self.delay_per_packet, self.fallibility,
             exponents)
+
+    def to_json(self) -> "dict[str, object]":
+        """Lossless JSON-safe representation (the result store's record).
+
+        Dictionaries keep their in-process insertion order (JSON objects
+        preserve it both ways) and floats serialize via ``repr``, so
+        ``from_json(to_json(result))`` is ``repr``-identical to the
+        original -- the property the warm-cache equality tests assert.
+        """
+        return {
+            "config": self.config.to_json(),
+            "offered_packets": self.offered_packets,
+            "processed_packets": self.processed_packets,
+            "erroneous_packets": self.erroneous_packets,
+            "category_errors": dict(self.category_errors),
+            "fatal": self.fatal,
+            "fatal_reason": self.fatal_reason,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "energy": dict(self.energy),
+            "l1d_accesses": self.l1d_accesses,
+            "l1d_miss_rate": self.l1d_miss_rate,
+            "detected_faults": self.detected_faults,
+            "injected_faults": self.injected_faults,
+            "cycle_history": list(self.cycle_history),
+            "fault_sites": [[address, is_write]
+                            for address, is_write in self.fault_sites],
+            "regions": [{"label": region.label, "address": region.address,
+                         "size": region.size} for region in self.regions],
+            "packet_cycles": list(self.packet_cycles),
+            "error_runs": list(self.error_runs),
+        }
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls(
+            config=ExperimentConfig.from_json(data["config"]),
+            offered_packets=data["offered_packets"],
+            processed_packets=data["processed_packets"],
+            erroneous_packets=data["erroneous_packets"],
+            category_errors=dict(data["category_errors"]),
+            fatal=data["fatal"],
+            fatal_reason=data["fatal_reason"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            energy=dict(data["energy"]),
+            l1d_accesses=data["l1d_accesses"],
+            l1d_miss_rate=data["l1d_miss_rate"],
+            detected_faults=data["detected_faults"],
+            injected_faults=data["injected_faults"],
+            cycle_history=tuple(data["cycle_history"]),
+            fault_sites=tuple((address, bool(is_write))
+                              for address, is_write in data["fault_sites"]),
+            regions=tuple(Region(**region) for region in data["regions"]),
+            packet_cycles=tuple(data["packet_cycles"]),
+            error_runs=tuple(data["error_runs"]),
+        )
 
 
 def build_environment(config: ExperimentConfig, faulty: bool,
@@ -278,10 +336,7 @@ def golden_observations(workload: Workload, config: ExperimentConfig,
     cached = _GOLDEN_CACHE.get(key)
     if cached is not None:
         return cached
-    golden_config = ExperimentConfig(
-        app=config.app, packet_count=config.packet_count, seed=config.seed,
-        workload_kwargs=dict(config.workload_kwargs))
-    outcome = execute_workload(workload, golden_config, faulty=False)
+    outcome = execute_workload(workload, config.golden(), faulty=False)
     if outcome.fatal_reason is not None:
         raise RuntimeError(
             f"golden run must not fail, got {outcome.fatal_reason}")

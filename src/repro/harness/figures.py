@@ -17,10 +17,15 @@ from repro.core.recovery import ALL_POLICIES, NO_DETECTION, RecoveryPolicy
 from repro.core.switching import amplitude_histogram, fit_exponential
 from repro.core.voltage import VoltageSwingModel
 from repro.harness.config import DEFAULT_FAULT_SCALE, ExperimentConfig
-from repro.harness.experiment import run_experiment
+from repro.harness.engine import CampaignEngine, default_engine
 from repro.harness.report import render_bar_chart, render_series, render_table
 
 DEFAULT_SEEDS = (7, 11, 23)
+
+
+def _engine(engine: "CampaignEngine | None") -> CampaignEngine:
+    """The engine to run behavioural figures through (default: uncached)."""
+    return engine if engine is not None else default_engine()
 
 
 def _mean(values: "list[float]") -> float:
@@ -145,17 +150,20 @@ def error_behavior(
     packet_count: int = 300,
     seeds: "tuple[int, ...]" = DEFAULT_SEEDS,
     fault_scale: float = DEFAULT_FAULT_SCALE,
+    engine: "CampaignEngine | None" = None,
 ) -> "dict[str, dict[float, dict[str, float]]]":
     """plane -> Cr -> category -> mean error probability (plus 'fatal')."""
+    configs = [ExperimentConfig(
+        app=app, packet_count=packet_count, seed=seed,
+        cycle_time=cycle_time, policy=NO_DETECTION,
+        fault_scale=fault_scale, planes=plane)
+        for plane in planes for cycle_time in cycle_times for seed in seeds]
+    outcomes = iter(_engine(engine).run(configs))
     results: "dict[str, dict[float, dict[str, float]]]" = {}
     for plane in planes:
         results[plane] = {}
         for cycle_time in cycle_times:
-            runs = [run_experiment(ExperimentConfig(
-                app=app, packet_count=packet_count, seed=seed,
-                cycle_time=cycle_time, policy=NO_DETECTION,
-                fault_scale=fault_scale, planes=plane))
-                for seed in seeds]
+            runs = [next(outcomes) for _ in seeds]
             categories = sorted({category for run in runs
                                  for category in run.category_errors})
             per_category = {
@@ -209,23 +217,27 @@ def fig8_fatal_probabilities(
     packet_count: int = 300,
     seeds: "tuple[int, ...]" = DEFAULT_SEEDS,
     fault_scale: float = DEFAULT_FAULT_SCALE,
+    engine: "CampaignEngine | None" = None,
 ) -> "dict[str, dict[float, float]]":
     """app -> Cr -> fatal errors per offered packet (no detection).
 
     A run ends at its first fatal error, so the estimator pools seeds:
     total fatal events over total packets offered before termination.
     """
+    configs = [ExperimentConfig(
+        app=app, packet_count=packet_count, seed=seed,
+        cycle_time=cycle_time, policy=NO_DETECTION,
+        fault_scale=fault_scale)
+        for app in apps for cycle_time in cycle_times for seed in seeds]
+    outcomes = iter(_engine(engine).run(configs))
     results: "dict[str, dict[float, float]]" = {}
     for app in apps:
         results[app] = {}
         for cycle_time in cycle_times:
             fatals = 0
             offered = 0
-            for seed in seeds:
-                run = run_experiment(ExperimentConfig(
-                    app=app, packet_count=packet_count, seed=seed,
-                    cycle_time=cycle_time, policy=NO_DETECTION,
-                    fault_scale=fault_scale))
+            for _ in seeds:
+                run = next(outcomes)
                 fatals += 1 if run.fatal else 0
                 offered += run.processed_packets + (1 if run.fatal else 0)
             results[app][cycle_time] = fatals / offered
@@ -284,17 +296,30 @@ def edf_products(
     seeds: "tuple[int, ...]" = DEFAULT_SEEDS,
     fault_scale: float = DEFAULT_FAULT_SCALE,
     exponents: MetricExponents = PAPER_EXPONENTS,
+    engine: "CampaignEngine | None" = None,
 ) -> "list[EdfCell]":
     """Every (policy, setting) bar for one application.
 
     Products are normalised per seed against that seed's baseline
-    (Cr = 1, no detection) and then averaged, as the figures are.
+    (Cr = 1, no detection) and then averaged, as the figures are.  All
+    runs go through one campaign, so the baseline configs (which
+    coincide with the no-detection/Cr=1 cells) simulate exactly once.
     """
-    baselines = {
-        seed: run_experiment(ExperimentConfig(
-            app=app, packet_count=packet_count, seed=seed, cycle_time=1.0,
-            policy=NO_DETECTION, fault_scale=fault_scale)).product(exponents)
-        for seed in seeds}
+    def cell_config(policy, setting, seed):
+        return ExperimentConfig(
+            app=app, packet_count=packet_count, seed=seed,
+            cycle_time=1.0 if setting == "dynamic" else setting,
+            policy=policy, dynamic=setting == "dynamic",
+            fault_scale=fault_scale)
+
+    baseline_configs = [ExperimentConfig(
+        app=app, packet_count=packet_count, seed=seed, cycle_time=1.0,
+        policy=NO_DETECTION, fault_scale=fault_scale) for seed in seeds]
+    cell_configs = [cell_config(policy, setting, seed)
+                    for policy in policies for setting in settings
+                    for seed in seeds]
+    outcomes = iter(_engine(engine).run(baseline_configs + cell_configs))
+    baselines = {seed: next(outcomes).product(exponents) for seed in seeds}
     cells = []
     for policy in policies:
         for setting in settings:
@@ -302,12 +327,7 @@ def edf_products(
             fatal_runs = 0
             fallibilities = []
             for seed in seeds:
-                config = ExperimentConfig(
-                    app=app, packet_count=packet_count, seed=seed,
-                    cycle_time=1.0 if setting == "dynamic" else setting,
-                    policy=policy, dynamic=setting == "dynamic",
-                    fault_scale=fault_scale)
-                run = run_experiment(config)
+                run = next(outcomes)
                 ratios.append(run.product(exponents) / baselines[seed])
                 fallibilities.append(run.fallibility)
                 fatal_runs += 1 if run.fatal else 0

@@ -26,14 +26,16 @@ def map_parallel(function, items: "list", max_workers: "int | None" = None,
                  ) -> "list":
     """Apply a picklable function to every item, optionally across processes.
 
-    Results come back in input order.  ``max_workers=1`` (or a single
-    item) runs serially in-process -- same results, no fork overhead;
-    ``None`` lets the executor pick the machine's default worker count.
-    This is the shared fan-out primitive behind :func:`run_experiments`
-    and the CLI's ``--max-workers`` flag.
+    Results come back in input order.  An empty item list returns an
+    empty result list (an all-cached campaign has zero missing configs).
+    ``max_workers=1`` (or a single item) runs serially in-process --
+    same results, no fork overhead; ``None`` lets the executor pick the
+    machine's default worker count.  This is the shared fan-out
+    primitive behind :func:`run_experiments`, the campaign engine's
+    chunk execution, and the CLI's ``--max-workers`` flag.
     """
     if not items:
-        raise ValueError("need at least one item")
+        return []
     if max_workers is not None and max_workers < 1:
         raise ValueError("max_workers must be positive")
     if max_workers == 1 or len(items) == 1:

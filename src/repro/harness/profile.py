@@ -43,10 +43,16 @@ class WorkloadProfile:
 def profile_workload(app: str, packet_count: int = 300, seed: int = 7,
                      workload_kwargs: "dict | None" = None,
                      ) -> WorkloadProfile:
-    """Measure a workload's profile with one fault-free run."""
-    config = ExperimentConfig(app=app, packet_count=packet_count, seed=seed,
-                              fault_scale=0.0,
-                              workload_kwargs=dict(workload_kwargs or {}))
+    """Measure a workload's profile with one fault-free run.
+
+    The profiling run is exactly the golden reference run of the
+    workload's configuration (``ExperimentConfig.golden()``), so the
+    profile describes the same execution the experiment runner compares
+    against.
+    """
+    config = ExperimentConfig(
+        app=app, packet_count=packet_count, seed=seed,
+        workload_kwargs=dict(workload_kwargs or {})).golden()
     outcome = execute_workload(load_workload(config), config, faulty=False)
     if outcome.fatal_reason is not None:
         raise RuntimeError(f"profiling run failed: {outcome.fatal_reason}")

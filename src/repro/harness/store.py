@@ -1,0 +1,210 @@
+"""Content-addressed experiment result store.
+
+Every figure and table of the reproduction is a cartesian sweep of
+independent :class:`~repro.harness.config.ExperimentConfig` runs, and a
+run's result is a pure function of its config -- so the result corpus can
+be treated as a first-class, shareable artifact (the methodology of
+hardware fault-injection campaigns, where re-simulating thousands of
+configurations on every analysis pass is unaffordable).
+
+The store is content-addressed: a result is filed under the SHA-256 of
+its config's canonical JSON serialization (sorted keys, compact
+separators, tracer excluded, policies by name) concatenated with a
+*code-version salt*.  Bump :data:`CODE_VERSION` whenever a change to the
+simulator alters results for an unchanged config; every existing cache
+entry then misses and is transparently re-simulated -- invalidation
+without deletion.
+
+On-disk layout (``cache_dir/``)::
+
+    chunk-<digest12>.jsonl     one line per result:
+                               {"key": <config key>, "result": {...}}
+
+Chunk files are written atomically -- serialized to
+``.tmp-<digest12>`` in the same directory, then ``os.replace``d into
+place -- so a killed campaign never leaves a half-written entry visible.
+A chunk's name is derived from the keys it contains, which keeps rewrites
+of the same configs idempotent.  Corrupt lines (a torn write from a hard
+kill, manual truncation) are *skipped and counted*, never fatal: the
+affected configs simply read as missing and re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult
+
+#: Bump on any simulator change that alters results for an unchanged
+#: config (fault model calibration, cache geometry defaults, energy
+#: accounting, ...).  Old entries then miss and re-simulate.
+CODE_VERSION = "clumsy-repro-v1"
+
+#: Hex digits of the chunk-key digest used in chunk file names.
+_CHUNK_DIGEST_LENGTH = 12
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON text: sorted keys, compact separators.
+
+    Two equal configs always produce byte-identical text, regardless of
+    dictionary insertion order -- the property the content address needs.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_key(config: ExperimentConfig, salt: str = CODE_VERSION) -> str:
+    """The content address of one config's result (SHA-256 hex digest)."""
+    text = salt + "\n" + canonical_json(config.to_json())
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def save_results(path: "Path | str",
+                 results: "list[ExperimentResult]") -> Path:
+    """Write results as standalone JSONL (one ``to_json`` object per line).
+
+    This is the sharing format: a corpus saved here can be loaded on
+    another machine (or imported into a store) without re-simulation.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(result.to_json()) for result in results]
+    path.write_text("".join(line + "\n" for line in lines))
+    return path
+
+
+def load_results(path: "Path | str") -> "list[ExperimentResult]":
+    """Read a results JSONL file back, in file order.
+
+    Accepts both the :func:`save_results` standalone format (one bare
+    result object per line) and a store's ``chunk-*.jsonl`` format
+    (``{"key": ..., "result": ...}`` per line), so a cache directory's
+    chunks double as shareable corpora.
+    """
+    results = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        if set(payload) == {"key", "result"}:
+            payload = payload["result"]
+        results.append(ExperimentResult.from_json(payload))
+    return results
+
+
+class ResultStore:
+    """Content-addressed, crash-safe persistence of experiment results.
+
+    The store indexes every ``*.jsonl`` chunk under ``cache_dir`` at
+    construction (and on :meth:`refresh`).  Lookups decode lazily, so an
+    all-hit campaign pays JSON parsing only for the results it returns.
+    """
+
+    def __init__(self, cache_dir: "Path | str",
+                 salt: str = CODE_VERSION) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = salt
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Malformed JSONL lines skipped during the last scan (torn
+        #: writes); the configs they held simply re-run.
+        self.corrupt_entries = 0
+        self._records: "dict[str, dict]" = {}
+        self.refresh()
+
+    # -- index ----------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild the in-memory index from the chunk files on disk."""
+        self._records = {}
+        self.corrupt_entries = 0
+        for chunk in sorted(self.cache_dir.glob("*.jsonl")):
+            for line in chunk.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    record = entry["result"]
+                    if not isinstance(key, str) or \
+                            not isinstance(record, dict):
+                        raise ValueError("malformed entry")
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_entries += 1
+                    continue
+                self._records[key] = record
+
+    def key_for(self, config: ExperimentConfig) -> str:
+        """This store's content address for ``config`` (salt applied)."""
+        return config_key(config, salt=self.salt)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> "tuple[str, ...]":
+        """Every stored content address, sorted."""
+        return tuple(sorted(self._records))
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: str) -> "ExperimentResult | None":
+        """Decode and return the result stored under ``key`` (or None).
+
+        An entry that fails to decode (schema drift without a salt bump,
+        hand-edited file) is dropped from the index and counted corrupt,
+        so the caller re-simulates instead of crashing.
+        """
+        record = self._records.get(key)
+        if record is None:
+            return None
+        try:
+            return ExperimentResult.from_json(record)
+        except (KeyError, TypeError, ValueError):
+            del self._records[key]
+            self.corrupt_entries += 1
+            return None
+
+    def get_config(self, config: ExperimentConfig,
+                   ) -> "ExperimentResult | None":
+        """Shorthand for ``get(key_for(config))``."""
+        return self.get(self.key_for(config))
+
+    # -- persistence ----------------------------------------------------------
+
+    def put_many(self, results: "list[ExperimentResult]") -> "Path | None":
+        """Persist one chunk of results atomically; returns the chunk path.
+
+        The chunk is serialized to a temporary sibling and renamed into
+        place (``os.replace``), so readers -- including a resumed run of
+        this same campaign -- see either none or all of the chunk.  The
+        file name derives from the chunk's keys, making rewrites of
+        identical chunks idempotent.
+        """
+        if not results:
+            return None
+        entries = []
+        for result in results:
+            key = self.key_for(result.config)
+            entries.append((key, result))
+            self._records[key] = result.to_json()
+        digest = hashlib.sha256(
+            "\n".join(key for key, _ in entries).encode("utf-8"),
+        ).hexdigest()[:_CHUNK_DIGEST_LENGTH]
+        final = self.cache_dir / f"chunk-{digest}.jsonl"
+        temp = self.cache_dir / f".tmp-{digest}"
+        text = "".join(
+            json.dumps({"key": key, "result": result.to_json()}) + "\n"
+            for key, result in entries)
+        temp.write_text(text)
+        os.replace(temp, final)
+        return final
+
+    def put(self, result: ExperimentResult) -> "Path | None":
+        """Persist a single result (one-entry chunk)."""
+        return self.put_many([result])

@@ -6,7 +6,8 @@ from dataclasses import dataclass, replace
 
 from repro.core.recovery import RecoveryPolicy
 from repro.harness.config import ExperimentConfig
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.engine import CampaignEngine, default_engine
+from repro.harness.experiment import ExperimentResult
 
 
 @dataclass(frozen=True)
@@ -40,28 +41,34 @@ def sweep(
     policies: "tuple[RecoveryPolicy, ...] | None" = None,
     seeds: "tuple[int, ...]" = (7,),
     fault_scales: "tuple[float, ...] | None" = None,
+    engine: "CampaignEngine | None" = None,
 ) -> "list[SweepPoint]":
     """Run the cartesian product of the given axes over ``base``.
 
     Axes left at their defaults are inherited from ``base``.  Seeds vary
-    within a point (they are replicas, not configurations).
+    within a point (they are replicas, not configurations).  The whole
+    product executes as one campaign through ``engine`` (default: the
+    uncached serial engine), so a cached sweep resumes for free.
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    engine = engine if engine is not None else default_engine()
     policy_axis = policies if policies is not None else (base.policy,)
     scale_axis = (fault_scales if fault_scales is not None
                   else (base.fault_scale,))
+    axes = [(cycle_time, policy, scale)
+            for cycle_time in cycle_times
+            for policy in policy_axis
+            for scale in scale_axis]
+    configs = [replace(base, cycle_time=cycle_time, policy=policy,
+                       fault_scale=scale, seed=seed)
+               for cycle_time, policy, scale in axes for seed in seeds]
+    outcomes = iter(engine.run(configs))
     points = []
-    for cycle_time in cycle_times:
-        for policy in policy_axis:
-            for scale in scale_axis:
-                results = tuple(
-                    run_experiment(replace(
-                        base, cycle_time=cycle_time, policy=policy,
-                        fault_scale=scale, seed=seed))
-                    for seed in seeds)
-                points.append(SweepPoint(
-                    config=replace(base, cycle_time=cycle_time,
-                                   policy=policy, fault_scale=scale),
-                    results=results))
+    for cycle_time, policy, scale in axes:
+        results = tuple(next(outcomes) for _ in seeds)
+        points.append(SweepPoint(
+            config=replace(base, cycle_time=cycle_time,
+                           policy=policy, fault_scale=scale),
+            results=results))
     return points

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.constants import NETBENCH_APPS, TABLE1_FALLIBILITY
 from repro.core.recovery import NO_DETECTION
 from repro.harness.config import DEFAULT_FAULT_SCALE, ExperimentConfig
-from repro.harness.experiment import run_experiment
+from repro.harness.engine import CampaignEngine, default_engine
 from repro.harness.report import render_table
 
 
@@ -37,19 +37,24 @@ def _mean(values: "list[float]") -> float:
 
 def table1_row(app: str, packet_count: int = 300,
                seeds: "tuple[int, ...]" = (7, 11, 23),
-               fault_scale: float = DEFAULT_FAULT_SCALE) -> Table1Row:
+               fault_scale: float = DEFAULT_FAULT_SCALE,
+               engine: "CampaignEngine | None" = None) -> Table1Row:
     """Measure one application's row, averaging fallibility over seeds."""
-    baseline = run_experiment(ExperimentConfig(
+    engine = engine if engine is not None else default_engine()
+    configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seeds[0], cycle_time=1.0,
-        policy=NO_DETECTION, fault_scale=0.0))
+        policy=NO_DETECTION, fault_scale=0.0)]
+    configs += [ExperimentConfig(
+        app=app, packet_count=packet_count, seed=seed,
+        cycle_time=cycle_time, policy=NO_DETECTION,
+        fault_scale=fault_scale)
+        for cycle_time in (0.5, 0.25) for seed in seeds]
+    outcomes = iter(engine.run(configs))
+    baseline = next(outcomes)
     fallibility = {}
     for cycle_time in (0.5, 0.25):
-        fallibility[cycle_time] = _mean([
-            run_experiment(ExperimentConfig(
-                app=app, packet_count=packet_count, seed=seed,
-                cycle_time=cycle_time, policy=NO_DETECTION,
-                fault_scale=fault_scale)).fallibility
-            for seed in seeds])
+        fallibility[cycle_time] = _mean(
+            [next(outcomes).fallibility for _ in seeds])
     paper = TABLE1_FALLIBILITY[app]
     return Table1Row(
         app=app,
@@ -65,9 +70,10 @@ def table1_row(app: str, packet_count: int = 300,
 
 def table1(packet_count: int = 300,
            seeds: "tuple[int, ...]" = (7, 11, 23),
-           fault_scale: float = DEFAULT_FAULT_SCALE) -> "list[Table1Row]":
+           fault_scale: float = DEFAULT_FAULT_SCALE,
+           engine: "CampaignEngine | None" = None) -> "list[Table1Row]":
     """All seven rows in the paper's order."""
-    return [table1_row(app, packet_count, seeds, fault_scale)
+    return [table1_row(app, packet_count, seeds, fault_scale, engine=engine)
             for app in NETBENCH_APPS]
 
 

@@ -18,7 +18,7 @@ import argparse
 from pathlib import Path
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
-from repro.core.recovery import ALL_POLICIES, EXTENSION_POLICIES, policy_by_name
+from repro.core.recovery import ALL_POLICIES, EXTENSION_POLICIES
 from repro.harness.config import PLANES, ExperimentConfig
 from repro.telemetry import Tracer, render_trace_report, write_csv, write_jsonl
 
@@ -88,13 +88,18 @@ def run_trace(args: argparse.Namespace) -> int:
     # import graph stays acyclic at module load.
     from repro.harness.experiment import run_experiment
 
-    tracer = Tracer(epoch_packets=args.epoch)
-    config = ExperimentConfig(
-        app=args.app, packet_count=args.packets, seed=args.seed,
-        cycle_time=args.cr, control_cycle_time=args.control_cr,
-        policy=policy_by_name(args.policy), dynamic=args.dynamic,
-        fault_scale=args.fault_scale, planes=args.planes,
-        l2_fill_fault_probability=args.l2_fill, tracer=tracer)
+    # The CLI namespace is untyped field data, so it flows through the
+    # canonical deserialization path (policy resolved by name) and the
+    # tracer -- pure observation, never part of config identity -- is
+    # attached afterwards.
+    config = ExperimentConfig.from_json({
+        "app": args.app, "packet_count": args.packets, "seed": args.seed,
+        "cycle_time": args.cr, "control_cycle_time": args.control_cr,
+        "policy": args.policy, "dynamic": args.dynamic,
+        "fault_scale": args.fault_scale, "planes": args.planes,
+        "l2_fill_fault_probability": args.l2_fill,
+    }).with_tracer(Tracer(epoch_packets=args.epoch))
+    tracer = config.tracer
     result = run_experiment(config)
 
     out_dir = Path(args.out)

@@ -32,8 +32,11 @@ class TestRunExperiments:
         [result] = run_experiments(configs(1), max_workers=8)
         assert result.config.seed == 1
 
+    def test_empty_config_list_returns_empty(self):
+        # An all-cached campaign has zero missing configs; the fan-out
+        # primitive must pass that through instead of raising.
+        assert run_experiments([], max_workers=1) == []
+
     def test_validation(self):
-        with pytest.raises(ValueError):
-            run_experiments([], max_workers=1)
         with pytest.raises(ValueError):
             run_experiments(configs(1), max_workers=0)

@@ -1,0 +1,211 @@
+"""Config/result JSON round-trips and the content-addressed store."""
+
+import json
+
+import pytest
+
+from repro.core.recovery import (
+    NO_DETECTION,
+    ONE_STRIKE,
+    RecoveryPolicy,
+    SECDED,
+    TWO_STRIKE,
+    TWO_STRIKE_SUB_BLOCK,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.store import (
+    CODE_VERSION,
+    ResultStore,
+    canonical_json,
+    config_key,
+    load_results,
+    save_results,
+)
+
+#: Configs spanning every serialization axis: each app, every policy
+#: family, dynamic and per-task clocking, bursts, and L2-fill faults.
+ROUND_TRIP_CONFIGS = [
+    ExperimentConfig(app="route", packet_count=30, seed=3, cycle_time=0.5,
+                     policy=TWO_STRIKE, fault_scale=20.0),
+    ExperimentConfig(app="nat", packet_count=25, seed=5, cycle_time=0.25,
+                     policy=NO_DETECTION, planes="control"),
+    ExperimentConfig(app="crc", packet_count=20, seed=7, dynamic=True,
+                     policy=ONE_STRIKE),
+    ExperimentConfig(app="md5", packet_count=15, seed=11, cycle_time=0.75,
+                     policy=SECDED, l2_fill_fault_probability=0.01),
+    ExperimentConfig(app="tl", packet_count=20, seed=13, cycle_time=0.5,
+                     control_cycle_time=1.0, policy=TWO_STRIKE_SUB_BLOCK),
+    ExperimentConfig(app="drr", packet_count=20, seed=17, cycle_time=0.25,
+                     burst_start_probability=0.05, burst_length=4,
+                     burst_multiplier=3.0),
+    ExperimentConfig(app="url", packet_count=20, seed=19, cycle_time=1.0,
+                     workload_kwargs={"path_count": 12}),
+]
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("config", ROUND_TRIP_CONFIGS,
+                             ids=lambda config: config.app)
+    def test_lossless(self, config):
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        assert repr(clone) == repr(config)
+
+    def test_json_text_round_trip(self):
+        config = ROUND_TRIP_CONFIGS[0]
+        text = json.dumps(config.to_json())
+        assert ExperimentConfig.from_json(json.loads(text)) == config
+
+    def test_registered_policy_serializes_as_name(self):
+        payload = ROUND_TRIP_CONFIGS[0].to_json()
+        assert payload["policy"] == "two-strike"
+
+    def test_unregistered_policy_serializes_as_fields(self):
+        custom = RecoveryPolicy("five-strike", strikes=5)
+        config = ExperimentConfig(app="tl", packet_count=5, policy=custom)
+        payload = config.to_json()
+        assert payload["policy"]["strikes"] == 5
+        assert ExperimentConfig.from_json(payload).policy == custom
+
+    def test_tracer_excluded_from_identity(self):
+        class FakeTracer:
+            enabled = True
+        config = ExperimentConfig(app="tl", packet_count=5)
+        traced = config.with_tracer(FakeTracer())
+        assert traced.to_json() == config.to_json()
+        assert config_key(traced) == config_key(config)
+
+    def test_unknown_field_rejected(self):
+        payload = ExperimentConfig(app="tl", packet_count=5).to_json()
+        payload["frequency_boost"] = 2.0
+        with pytest.raises(ValueError, match="unknown"):
+            ExperimentConfig.from_json(payload)
+
+    def test_validation_still_applies(self):
+        payload = ExperimentConfig(app="tl", packet_count=5).to_json()
+        payload["planes"] = "everywhere"
+        with pytest.raises(ValueError):
+            ExperimentConfig.from_json(payload)
+
+    def test_golden_keeps_workload_identity_only(self):
+        config = ExperimentConfig(
+            app="url", packet_count=30, seed=9, cycle_time=0.25,
+            policy=TWO_STRIKE, fault_scale=50.0,
+            workload_kwargs={"path_count": 12})
+        golden = config.golden()
+        assert (golden.app, golden.packet_count, golden.seed) == (
+            "url", 30, 9)
+        assert golden.workload_kwargs == {"path_count": 12}
+        assert golden.cycle_time == 1.0
+        assert golden.policy == NO_DETECTION
+
+
+class TestConfigKey:
+    def test_stable_across_field_order(self):
+        config = ExperimentConfig(app="tl", packet_count=5)
+        payload = config.to_json()
+        shuffled = dict(reversed(list(payload.items())))
+        assert canonical_json(payload) == canonical_json(shuffled)
+
+    def test_key_changes_with_any_axis(self):
+        base = ExperimentConfig(app="tl", packet_count=5)
+        variants = [
+            ExperimentConfig(app="crc", packet_count=5),
+            ExperimentConfig(app="tl", packet_count=6),
+            ExperimentConfig(app="tl", packet_count=5, seed=8),
+            ExperimentConfig(app="tl", packet_count=5, cycle_time=0.5),
+            ExperimentConfig(app="tl", packet_count=5, policy=TWO_STRIKE),
+        ]
+        keys = {config_key(config) for config in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_code_version_salt_invalidates(self):
+        config = ExperimentConfig(app="tl", packet_count=5)
+        assert config_key(config, salt=CODE_VERSION) != config_key(
+            config, salt=CODE_VERSION + "-next")
+
+
+class TestResultRoundTrip:
+    @pytest.mark.parametrize("config", ROUND_TRIP_CONFIGS,
+                             ids=lambda config: config.app)
+    def test_repr_identical(self, config):
+        result = run_experiment(config)
+        clone = ExperimentResult.from_json(
+            json.loads(json.dumps(result.to_json())))
+        assert repr(clone) == repr(result)
+        assert clone.product() == result.product()
+        assert clone.fallibility == result.fallibility
+
+    def test_save_load_helpers(self, tmp_path):
+        results = [run_experiment(config)
+                   for config in ROUND_TRIP_CONFIGS[:2]]
+        path = save_results(tmp_path / "corpus.jsonl", results)
+        loaded = load_results(path)
+        assert [repr(result) for result in loaded] == [
+            repr(result) for result in results]
+
+    def test_load_results_reads_store_chunks(self, tmp_path):
+        """Cache chunks double as shareable corpora."""
+        results = [run_experiment(config)
+                   for config in ROUND_TRIP_CONFIGS[:2]]
+        chunk = ResultStore(tmp_path).put_many(results)
+        loaded = load_results(chunk)
+        assert [repr(result) for result in loaded] == [
+            repr(result) for result in results]
+
+
+class TestResultStore:
+    def make_result(self, seed=3):
+        return run_experiment(ExperimentConfig(
+            app="tl", packet_count=10, seed=seed, cycle_time=0.5,
+            policy=TWO_STRIKE, fault_scale=30.0))
+
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = self.make_result()
+        store.put(result)
+        fetched = store.get_config(result.config)
+        assert repr(fetched) == repr(result)
+
+    def test_persistence_across_instances(self, tmp_path):
+        result = self.make_result()
+        ResultStore(tmp_path).put(result)
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert repr(reopened.get_config(result.config)) == repr(result)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_many([self.make_result(seed) for seed in (1, 2)])
+        assert not list(tmp_path.glob(".tmp-*"))
+        assert len(list(tmp_path.glob("chunk-*.jsonl"))) == 1
+
+    def test_idempotent_rewrite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = [self.make_result(seed) for seed in (1, 2)]
+        store.put_many(results)
+        store.put_many(results)
+        assert len(list(tmp_path.glob("chunk-*.jsonl"))) == 1
+        assert len(ResultStore(tmp_path)) == 2
+
+    def test_truncated_entry_skipped_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = [self.make_result(seed) for seed in (1, 2)]
+        store.put_many(results)
+        [chunk] = tmp_path.glob("chunk-*.jsonl")
+        first, second = chunk.read_text().splitlines()
+        # A torn write: the second entry is cut mid-record.
+        chunk.write_text(first + "\n" + second[:len(second) // 2] + "\n")
+        reopened = ResultStore(tmp_path)
+        assert reopened.corrupt_entries == 1
+        assert len(reopened) == 1
+        # The surviving entry still decodes; the torn one reads missing.
+        keys = [reopened.key_for(result.config) for result in results]
+        assert sum(1 for key in keys if key in reopened) == 1
+
+    def test_salted_store_misses_other_salt_entries(self, tmp_path):
+        result = self.make_result()
+        ResultStore(tmp_path).put(result)
+        future = ResultStore(tmp_path, salt=CODE_VERSION + "-next")
+        assert future.get_config(result.config) is None

@@ -3,11 +3,20 @@
 These are the only benches where wall-clock statistics are the artifact:
 they document the cost of simulation itself (accesses per second through
 the full hierarchy, lookups per second through the radix tree) so users
-can budget sweeps.
+can budget sweeps.  The injector comparison additionally writes
+``BENCH_throughput.json`` -- the machine-readable perf trajectory that CI
+gates on and subsequent changes extend.
 """
 
-from repro.core.recovery import TWO_STRIKE
+import json
+import os
+import time
+
+from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
+from repro.core.recovery import ALL_POLICIES, TWO_STRIKE
 from repro.cpu.processor import Processor
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
 from repro.mem.faults import FaultInjector
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.net.trace import make_prefixes
@@ -47,6 +56,79 @@ class TestHierarchyThroughput:
             return total
 
         benchmark(churn)
+
+
+class TestInjectorSweepThroughput:
+    """Cold fig9-12-shaped sweep, reference vs geometric injector.
+
+    Every experiment in the behavioural sweep (7 apps x every recovery
+    policy x the four static ``Cr`` settings plus the dynamic scheme) is
+    simulated cold -- ``run_experiment`` directly, no campaign cache --
+    once per injector.  The wall-clock ratio is the headline number of
+    the geometric-skip fast lane, recorded in ``BENCH_throughput.json``
+    so each change appends to a perf trajectory instead of a one-off
+    claim.  CI fails the run if the speedup drops below the 2x gate
+    (the full 300-packet sweep reaches ~3x; short CI sweeps amortise
+    less per-packet work over fixed setup, hence the lower gate).
+
+    ``REPRO_THROUGHPUT_PACKETS`` scales the per-experiment packet count
+    (default 60: ~20 s total, speedup ~2.7x).
+    """
+
+    #: CI gate: minimum acceptable geometric-over-reference speedup.
+    MIN_SPEEDUP = 2.0
+
+    def test_geometric_speedup_on_fig9_12_sweep(self, once, artifact_dir):
+        packets = int(os.environ.get("REPRO_THROUGHPUT_PACKETS", "60"))
+        settings = tuple(RELATIVE_CYCLE_LEVELS) + ("dynamic",)
+
+        def sweep(injector):
+            per_app = {}
+            for app in NETBENCH_APPS:
+                started = time.perf_counter()
+                for policy in ALL_POLICIES:
+                    for setting in settings:
+                        run_experiment(ExperimentConfig(
+                            app=app, packet_count=packets, seed=7,
+                            cycle_time=(1.0 if setting == "dynamic"
+                                        else setting),
+                            dynamic=setting == "dynamic", policy=policy,
+                            injector=injector))
+                per_app[app] = time.perf_counter() - started
+            return per_app
+
+        reference, geometric = once(
+            lambda: (sweep("reference"), sweep("geometric")))
+        reference_total = sum(reference.values())
+        geometric_total = sum(geometric.values())
+        speedup = reference_total / geometric_total
+        report = {
+            "experiment": "fig9_12_cold_sweep",
+            "packets": packets,
+            "seed": 7,
+            "configs_per_injector": (len(NETBENCH_APPS) * len(ALL_POLICIES)
+                                     * len(settings)),
+            "reference_seconds": round(reference_total, 3),
+            "geometric_seconds": round(geometric_total, 3),
+            "speedup": round(speedup, 3),
+            "gate": self.MIN_SPEEDUP,
+            "per_app": {
+                app: {
+                    "reference_seconds": round(reference[app], 3),
+                    "geometric_seconds": round(geometric[app], 3),
+                    "speedup": round(reference[app] / geometric[app], 3),
+                }
+                for app in NETBENCH_APPS
+            },
+        }
+        text = json.dumps(report, indent=2)
+        print()
+        print(text)
+        (artifact_dir / "BENCH_throughput.json").write_text(text + "\n")
+        assert speedup >= self.MIN_SPEEDUP, (
+            f"geometric injector speedup regressed: {speedup:.2f}x < "
+            f"{self.MIN_SPEEDUP}x gate (reference {reference_total:.1f}s, "
+            f"geometric {geometric_total:.1f}s)")
 
 
 class TestRadixThroughput:

@@ -5,9 +5,12 @@ fault-injected run over the same trace; any nondeterminism outside the
 seeded fault model silently biases the error counts, the failure mode
 Soyturk et al. document for un-audited injection harnesses.  Therefore
 simulator code may draw randomness only from explicitly seeded
-``random.Random(seed)`` instances (as ``mem/faults.py`` and
-``net/trace.py`` do), may never read wall-clock time, and may not
-iterate sets whose order the hash seed controls.
+generators -- ``random.Random(seed)`` instances (as ``mem/faults.py``
+and ``net/trace.py`` do) or seeded numpy generators
+(``numpy.random.default_rng(seed)``); the module-level ``random``/
+``numpy.random`` generators and argless constructors are forbidden.  It
+may never read wall-clock time, and may not iterate sets whose order
+the hash seed controls.
 
 Relaxation: under the ``tests`` profile set iteration is permitted
 (assertion helpers iterate small sets harmlessly), but wall-clock reads
@@ -25,6 +28,13 @@ from repro.analysis.findings import Finding
 
 #: ``random`` module attributes that are safe: the seeded-generator class.
 _SAFE_RANDOM_ATTRS = frozenset({"Random"})
+
+#: ``numpy.random`` constructors that are deterministic *when seeded*:
+#: argless calls fall back to OS entropy and are flagged.
+_NUMPY_SEEDABLE_CONSTRUCTORS = frozenset({"default_rng", "RandomState"})
+
+#: Names ``numpy`` is conventionally imported as.
+_NUMPY_ALIASES = frozenset({"numpy", "np"})
 
 #: ``time`` module functions that read host clocks.
 _CLOCK_FUNCTIONS = frozenset({
@@ -151,6 +161,20 @@ class DeterminismRule(Rule):
                 context, node,
                 f"uuid.{leaf}() is nondeterministic; derive identifiers "
                 f"from the seed or a counter")
+        elif root in _NUMPY_ALIASES and len(parts) == 3 and \
+                parts[1] == "random":
+            if leaf in _NUMPY_SEEDABLE_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        context, node,
+                        f"{name}() without a seed draws OS entropy; pass "
+                        f"an explicit seed ({name}(seed))")
+            else:
+                yield self.finding(
+                    context, node,
+                    f"{name}() draws from numpy's unseeded module-level "
+                    f"generator; use a seeded Generator "
+                    f"(numpy.random.default_rng(seed))")
 
     # -- set iteration --------------------------------------------------------
 

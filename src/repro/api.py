@@ -28,7 +28,11 @@ The surface covers four layers of use:
   :func:`canonical_json`, :func:`save_results`, :func:`load_results`;
 * **policies and systems** -- the paper's recovery policies,
   :func:`policy_by_name`, :func:`run_multicore`, and the
-  :class:`Tracer` observation hook.
+  :class:`Tracer` observation hook;
+* **fault sampling** -- :class:`FaultInjector` (the per-access
+  reference sampler), :class:`GeometricFaultInjector` (the skip-sampling
+  equivalent behind ``ExperimentConfig(injector="geometric")``), and
+  :data:`INJECTOR_NAMES`.
 """
 
 from __future__ import annotations
@@ -56,6 +60,12 @@ from repro.harness.store import (
     save_results,
 )
 from repro.harness.sweep import SweepPoint, sweep
+from repro.mem.faults import (
+    INJECTOR_NAMES,
+    FaultInjector,
+    GeometricFaultInjector,
+    make_injector,
+)
 from repro.system.multicore import MulticoreResult, run_multicore
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
@@ -67,6 +77,9 @@ __all__ = [
     "EXTENSION_POLICIES",
     "ExperimentConfig",
     "ExperimentResult",
+    "FaultInjector",
+    "GeometricFaultInjector",
+    "INJECTOR_NAMES",
     "MulticoreResult",
     "NO_DETECTION",
     "NULL_TRACER",
@@ -82,6 +95,7 @@ __all__ = [
     "config_key",
     "default_engine",
     "load_results",
+    "make_injector",
     "map_parallel",
     "policy_by_name",
     "run_experiment",

@@ -58,8 +58,18 @@ class Environment:
     instruction_scale: float = INSTRUCTION_SCALE
 
     def work(self, instructions: int) -> None:
-        """Account abstract computational work (non-memory instructions)."""
-        self.processor.execute(round(instructions * self.instruction_scale))
+        """Account abstract computational work (non-memory instructions).
+
+        Equivalent to ``processor.execute(round(n * scale))`` but folded
+        into the counters directly: the kernels call this once per
+        handful of abstract ops, making it one of the three hottest
+        frames in a run, and the negative-count guard is redundant here
+        (the kernels pass literal non-negative op counts).
+        """
+        count = round(instructions * self.instruction_scale)
+        processor = self.processor
+        processor.instructions += count
+        processor.cycles += count
 
 
 class NetBenchApp:

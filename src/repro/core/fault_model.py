@@ -158,6 +158,24 @@ class FaultModel:
         return (self.single_bit_probability(relative_cycle_time)
                 / self.single_bit_probability(1.0))
 
+    def access_fault_probability(self, relative_cycle_time: float,
+                                 scale: float = 1.0) -> float:
+        """Probability that one access faults at all (any multiplicity).
+
+        This is the Bernoulli parameter the injectors sample per access:
+        the sum of the single-, two-, and three-bit probabilities, each
+        accelerated by ``scale`` and clamped to 1 exactly as
+        :class:`repro.mem.faults.FaultInjector` clamps them.  The
+        geometric injector's inter-fault gaps are Geometric(p) with this
+        ``p``; the statistical-equivalence tests use it as the expected
+        law's parameter.
+        """
+        if scale < 0:
+            raise ValueError(f"fault scale must be non-negative, got {scale}")
+        return min(1.0, sum(
+            min(p * scale, 1.0)
+            for p in self.multiplicity_probabilities(relative_cycle_time)))
+
     def curve(self, cycle_times: "list[float] | None" = None,
               ) -> "list[tuple[float, float]]":
         """Sample ``(Cr, P_E)`` pairs -- the data series of Figure 5."""

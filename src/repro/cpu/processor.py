@@ -20,8 +20,15 @@ class Processor:
 
     def __init__(self, energy_model: "EnergyModel | None" = None) -> None:
         self.energy = EnergyAccount(model=energy_model or EnergyModel())
-        self._cycles = 0.0
-        self._instructions = 0
+        #: Total cycles accounted so far.  Public and directly mutable:
+        #: the memory fast lane (see repro.mem.view) folds its stall
+        #: charge in without a call; everything else goes through
+        #: :meth:`execute` / :meth:`stall`.
+        self.cycles = 0.0
+        #: Instructions executed so far (same public-mutability contract
+        #: as ``cycles``: the application framework's work() accounting
+        #: folds in directly).
+        self.instructions = 0
         self._frequency_changes = 0
         self._finalized = False
         #: Optional telemetry tracer (duck-typed; None keeps the cpu layer
@@ -35,18 +42,18 @@ class Processor:
         """Account ``instruction_count`` single-cycle instructions."""
         if instruction_count < 0:
             raise ValueError("instruction count must be non-negative")
-        self._instructions += instruction_count
-        self._cycles += instruction_count
+        self.instructions += instruction_count
+        self.cycles += instruction_count
 
     def stall(self, cycles: float) -> None:
         """Account memory (or other) stall cycles."""
         if cycles < 0:
             raise ValueError("stall cycles must be non-negative")
-        self._cycles += cycles
+        self.cycles += cycles
 
     def frequency_change_penalty(self) -> None:
         """Charge the fixed penalty for a cache clock change (Section 4)."""
-        self._cycles += constants.FREQUENCY_CHANGE_PENALTY_CYCLES
+        self.cycles += constants.FREQUENCY_CHANGE_PENALTY_CYCLES
         self._frequency_changes += 1
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.counters.bump("processor.frequency_changes")
@@ -59,26 +66,16 @@ class Processor:
         Idempotent; returns the energy account for convenience.
         """
         if not self._finalized:
-            self.energy.charge_core_cycles(self._cycles)
-            self.energy.charge_l1i_accesses(self._instructions)
+            self.energy.charge_core_cycles(self.cycles)
+            self.energy.charge_l1i_accesses(self.instructions)
             self._finalized = True
             if self.tracer is not None and self.tracer.enabled:
-                self.tracer.gauges["processor.cycles"] = self._cycles
+                self.tracer.gauges["processor.cycles"] = self.cycles
                 self.tracer.gauges["processor.instructions"] = (
-                    self._instructions)
+                    self.instructions)
                 self.tracer.gauges["processor.energy_total"] = (
                     self.energy.total)
         return self.energy
-
-    @property
-    def cycles(self) -> float:
-        """Total cycles accounted so far."""
-        return self._cycles
-
-    @property
-    def instructions(self) -> int:
-        """Instructions executed so far."""
-        return self._instructions
 
     @property
     def frequency_changes(self) -> int:

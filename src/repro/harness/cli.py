@@ -7,6 +7,7 @@ Usage::
     python -m repro fig9a --packets 300 --seeds 7,11,23
     python -m repro all --max-workers 4 --cache-dir .repro-cache
     python -m repro fig9a --resume
+    python -m repro fig12b --injector geometric
     python -m repro trace route --packets 200
     python -m repro lint --json
 
@@ -34,6 +35,7 @@ from repro.harness import figures, tables
 from repro.harness.engine import CampaignEngine
 from repro.harness.parallel import map_parallel
 from repro.harness.store import ResultStore
+from repro.mem.faults import INJECTOR_NAMES
 
 #: Cache directory used by ``--resume`` when ``--cache-dir`` is absent.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -41,29 +43,46 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 def _edf_renderer(app: str, figure_name: str):
     def render(packets: int, seeds: "tuple[int, ...]",
-               engine: CampaignEngine) -> str:
+               engine: CampaignEngine, injector: str) -> str:
         return figures.render_edf(app, figure_name, packet_count=packets,
-                                  seeds=seeds, engine=engine)
+                                  seeds=seeds, engine=engine,
+                                  injector=injector)
     return render
 
 
 def _experiment_renderers() -> "dict[str, object]":
-    """Experiment id -> callable(packets, seeds, engine) -> str."""
+    """Experiment id -> callable(packets, seeds, engine, injector) -> str.
+
+    The analytic artifacts (fig1b-fig5, ext_dvs) and the non-config-
+    shaped multicore extension accept and ignore the injector argument.
+    """
     return {
-        "table1": lambda packets, seeds, engine: tables.render_table1(
-            tables.table1(packet_count=packets, seeds=seeds,
-                          engine=engine)),
-        "fig1b": lambda packets, seeds, engine: figures.render_fig1b(),
-        "fig2b": lambda packets, seeds, engine: figures.render_fig2b(),
-        "fig3": lambda packets, seeds, engine: figures.render_fig3(),
-        "fig4": lambda packets, seeds, engine: figures.render_fig4(),
-        "fig5": lambda packets, seeds, engine: figures.render_fig5(),
-        "fig6": lambda packets, seeds, engine: figures.fig6_route_errors(
-            packet_count=packets, seeds=seeds, engine=engine),
-        "fig7": lambda packets, seeds, engine: figures.fig7_nat_errors(
-            packet_count=packets, seeds=seeds, engine=engine),
-        "fig8": lambda packets, seeds, engine: figures.render_fig8(
-            packet_count=packets, seeds=seeds, engine=engine),
+        "table1": lambda packets, seeds, engine, injector:
+            tables.render_table1(tables.table1(
+                packet_count=packets, seeds=seeds, engine=engine,
+                injector=injector)),
+        "fig1b": lambda packets, seeds, engine, injector:
+            figures.render_fig1b(),
+        "fig2b": lambda packets, seeds, engine, injector:
+            figures.render_fig2b(),
+        "fig3": lambda packets, seeds, engine, injector:
+            figures.render_fig3(),
+        "fig4": lambda packets, seeds, engine, injector:
+            figures.render_fig4(),
+        "fig5": lambda packets, seeds, engine, injector:
+            figures.render_fig5(),
+        "fig6": lambda packets, seeds, engine, injector:
+            figures.fig6_route_errors(
+                packet_count=packets, seeds=seeds, engine=engine,
+                injector=injector),
+        "fig7": lambda packets, seeds, engine, injector:
+            figures.fig7_nat_errors(
+                packet_count=packets, seeds=seeds, engine=engine,
+                injector=injector),
+        "fig8": lambda packets, seeds, engine, injector:
+            figures.render_fig8(
+                packet_count=packets, seeds=seeds, engine=engine,
+                injector=injector),
         "fig9a": _edf_renderer("route", "Figure 9(a)"),
         "fig9b": _edf_renderer("crc", "Figure 9(b)"),
         "fig10a": _edf_renderer("md5", "Figure 10(a)"),
@@ -71,17 +90,19 @@ def _experiment_renderers() -> "dict[str, object]":
         "fig11a": _edf_renderer("drr", "Figure 11(a)"),
         "fig11b": _edf_renderer("nat", "Figure 11(b)"),
         "fig12a": _edf_renderer("url", "Figure 12(a)"),
-        "fig12b": lambda packets, seeds, engine: figures.render_average_edf(
-            packet_count=packets, seeds=seeds, engine=engine),
+        "fig12b": lambda packets, seeds, engine, injector:
+            figures.render_average_edf(
+                packet_count=packets, seeds=seeds, engine=engine,
+                injector=injector),
         "ext_optimum": _render_optimum,
-        "ext_dvs": lambda packets, seeds, engine: _render_dvs(),
+        "ext_dvs": lambda packets, seeds, engine, injector: _render_dvs(),
         "ext_multicore": _render_multicore,
         "ext_anatomy": _render_anatomy,
     }
 
 
 def _render_optimum(packets: int, seeds: "tuple[int, ...]",
-                    engine: CampaignEngine) -> str:
+                    engine: CampaignEngine, injector: str) -> str:
     """Analytic operating-point prediction per application."""
     from repro.core.optimum import OperatingPointModel
     from repro.core.recovery import NO_DETECTION
@@ -92,7 +113,8 @@ def _render_optimum(packets: int, seeds: "tuple[int, ...]",
 
     observed_runs = engine.run([ExperimentConfig(
         app=app, packet_count=packets, seed=seeds[0], cycle_time=0.25,
-        policy=NO_DETECTION, fault_scale=20.0) for app in NETBENCH_APPS])
+        policy=NO_DETECTION, fault_scale=20.0,
+        injector=injector) for app in NETBENCH_APPS])
     rows = []
     for app, observed in zip(NETBENCH_APPS, observed_runs):
         profile = profile_workload(app, packet_count=packets, seed=seeds[0])
@@ -129,8 +151,9 @@ def _render_dvs() -> str:
 
 
 def _render_multicore(packets: int, seeds: "tuple[int, ...]",
-                      engine: CampaignEngine) -> str:
-    """Engine-count scaling table (multicore runs are not config-shaped)."""
+                      engine: CampaignEngine, injector: str) -> str:
+    """Engine-count scaling table (multicore runs are not config-shaped,
+    so the injector selection does not apply and is ignored)."""
     from repro.core.recovery import TWO_STRIKE
     from repro.harness.report import render_table
     from repro.system.multicore import run_multicore
@@ -152,7 +175,7 @@ def _render_multicore(packets: int, seeds: "tuple[int, ...]",
 
 
 def _render_anatomy(packets: int, seeds: "tuple[int, ...]",
-                    engine: CampaignEngine) -> str:
+                    engine: CampaignEngine, injector: str) -> str:
     """Fault attribution for the route application."""
     from repro.core.recovery import NO_DETECTION
     from repro.harness.config import ExperimentConfig
@@ -163,7 +186,8 @@ def _render_anatomy(packets: int, seeds: "tuple[int, ...]",
 
     runs = engine.run([ExperimentConfig(
         app="route", packet_count=packets, seed=seed, cycle_time=0.25,
-        policy=NO_DETECTION, fault_scale=20.0, planes="data")
+        policy=NO_DETECTION, fault_scale=20.0, planes="data",
+        injector=injector)
         for seed in seeds])
     sites = []
     regions = None
@@ -187,16 +211,16 @@ def _build_engine(cache_dir: "str | None",
     return CampaignEngine(store=store, max_workers=max_workers)
 
 
-def _render_job(job: "tuple[str, int, tuple[int, ...], str | None, int]",
+def _render_job(job: "tuple[str, int, tuple[int, ...], str | None, int, str]",
                 ) -> "tuple[str, dict[str, int]]":
     """Render one experiment id (picklable worker for --max-workers).
 
     Returns the artifact text plus the job engine's counter snapshot so
     the parent can aggregate a campaign summary across processes.
     """
-    name, packets, seeds, cache_dir, engine_workers = job
+    name, packets, seeds, cache_dir, engine_workers, injector = job
     engine = _build_engine(cache_dir, engine_workers)
-    output = _experiment_renderers()[name](packets, seeds, engine)
+    output = _experiment_renderers()[name](packets, seeds, engine, injector)
     return output, engine.counters.snapshot()
 
 
@@ -240,6 +264,14 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="force recomputation; do not read or write "
                              "any result store")
+    parser.add_argument("--injector", choices=sorted(INJECTOR_NAMES),
+                        default="reference",
+                        help="fault-sampling implementation: 'reference' "
+                             "draws per access (matches the golden "
+                             "snapshots bit for bit), 'geometric' "
+                             "skip-samples inter-fault gaps (same fault "
+                             "law, several times faster; see "
+                             "EXPERIMENTS.md for comparability)")
     args = parser.parse_args(argv)
     if args.no_cache and (args.cache_dir or args.resume):
         parser.error("--no-cache conflicts with --cache-dir/--resume")
@@ -253,7 +285,8 @@ def main(argv: "list[str] | None" = None) -> int:
     # parallelism (chunk-level for a single id, job-level for 'all').
     job_workers = args.max_workers if len(names) > 1 else 1
     engine_workers = args.max_workers if len(names) == 1 else 1
-    jobs = [(name, args.packets, seeds, cache_dir, engine_workers)
+    jobs = [(name, args.packets, seeds, cache_dir, engine_workers,
+             args.injector)
             for name in names]
     totals: "dict[str, int]" = {}
     for output, counters in map_parallel(_render_job, jobs,

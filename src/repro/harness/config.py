@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import NO_DETECTION, RecoveryPolicy, policy_by_name
+from repro.mem.faults import INJECTOR_NAMES
 
 #: Where fault injection is active (paper Figures 6/7 study the planes
 #: separately).
@@ -30,6 +31,15 @@ class ExperimentConfig:
     the *faulty* run (the golden run is never traced).  Tracing is pure
     observation -- it does not participate in config equality and cannot
     perturb results.
+
+    ``injector`` selects the fault-sampling implementation (see
+    :data:`repro.mem.faults.INJECTOR_NAMES`): ``"reference"`` draws one
+    Bernoulli sample per access exactly as the seed snapshots were
+    frozen, ``"geometric"`` skip-samples the inter-fault gaps (same
+    per-access fault law, ~order-of-magnitude cheaper per fault-free
+    access).  The two are statistically indistinguishable but not
+    RNG-stream identical, so absolute fault placements differ run to
+    run; see EXPERIMENTS.md for when results are comparable.
     """
 
     app: str
@@ -49,6 +59,7 @@ class ExperimentConfig:
     burst_length: int = 0
     burst_multiplier: float = 1.0
     l2_fill_fault_probability: float = 0.0
+    injector: str = "reference"
     workload_kwargs: "dict[str, object]" = field(default_factory=dict)
     # Typed as object to keep this module telemetry-agnostic; any value
     # with the Tracer protocol (emit/finish/enabled) works.
@@ -83,6 +94,10 @@ class ExperimentConfig:
             raise ValueError("burst multiplier must be >= 1")
         if not 0.0 <= self.l2_fill_fault_probability <= 1.0:
             raise ValueError("L2 fill fault probability must be in [0, 1]")
+        if self.injector not in INJECTOR_NAMES:
+            raise ValueError(
+                f"injector must be one of {INJECTOR_NAMES}, "
+                f"got {self.injector!r}")
 
     @property
     def label(self) -> str:
@@ -90,7 +105,10 @@ class ExperimentConfig:
         clock = "dynamic" if self.dynamic else f"Cr={self.cycle_time}"
         if self.control_cycle_time is not None:
             clock += f"/ctl={self.control_cycle_time}"
-        return f"{self.app}/{clock}/{self.policy.name}/{self.planes}"
+        label = f"{self.app}/{clock}/{self.policy.name}/{self.planes}"
+        if self.injector != "reference":
+            label += f"/{self.injector}"
+        return label
 
     def golden(self) -> "ExperimentConfig":
         """The fault-free reference variant of this configuration.
@@ -98,12 +116,16 @@ class ExperimentConfig:
         Golden observations depend only on the workload identity (app,
         packet count, seed, workload kwargs) -- never on the clock,
         policy, or fault scale -- so the golden config drops every other
-        axis back to its default.  This is the one sanctioned way to
-        build a reference run (the profiler and the golden cache both
-        use it).
+        axis back to its default.  The ``injector`` is carried over: a
+        disabled injector draws no faults regardless of implementation,
+        so it cannot change the observations, but a skip-capable one
+        lets the golden run ride the fault-free fast lane.  This is the
+        one sanctioned way to build a reference run (the profiler and
+        the golden cache both use it).
         """
         return ExperimentConfig(
             app=self.app, packet_count=self.packet_count, seed=self.seed,
+            injector=self.injector,
             workload_kwargs=dict(self.workload_kwargs))
 
     def to_json(self) -> "dict[str, object]":
@@ -145,6 +167,7 @@ class ExperimentConfig:
             "burst_length": self.burst_length,
             "burst_multiplier": self.burst_multiplier,
             "l2_fill_fault_probability": self.l2_fill_fault_probability,
+            "injector": self.injector,
             "workload_kwargs": dict(self.workload_kwargs),
         }
 
@@ -169,7 +192,7 @@ class ExperimentConfig:
             "quarter_cycle_multiplier", "memory_size", "l1_size_bytes",
             "l1_associativity", "burst_start_probability", "burst_length",
             "burst_multiplier", "l2_fill_fault_probability",
-            "workload_kwargs"}
+            "injector", "workload_kwargs"}
         unknown = sorted(set(payload) - field_names)
         if unknown:
             raise ValueError(

@@ -36,7 +36,7 @@ from repro.cpu.watchdog import FatalExecutionError
 from repro.harness.config import ExperimentConfig
 from repro.mem.allocator import BumpAllocator, Region
 from repro.mem.errors import MemoryAccessError
-from repro.mem.faults import FaultInjector
+from repro.mem.faults import FaultInjector, make_injector
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.view import MemView
 from repro.telemetry.events import FatalError, PacketDone
@@ -198,7 +198,8 @@ def build_environment(config: ExperimentConfig, faulty: bool,
     """Construct one simulation stack (processor, hierarchy, allocator)."""
     model = FaultModel.calibrated(
         quarter_cycle_multiplier=config.quarter_cycle_multiplier)
-    injector = FaultInjector(
+    injector = make_injector(
+        config.injector,
         model=model, seed=config.seed * 1_000_003 + 17,
         scale=config.fault_scale if faulty else 0.0,
         enabled=faulty,
@@ -304,6 +305,11 @@ def execute_workload(workload: Workload, config: ExperimentConfig,
                 packet_index=fatal_index, reason=fatal_reason,
                 cr=env.hierarchy.cycle_time))
     env.processor.finalize()
+    if tracer.enabled:
+        # Fast-lane coverage aggregates: bumped as plain integers on the
+        # hot path (the lane stays event-free) and exported once here.
+        tracer.gauges["hierarchy.fast_reads"] = env.hierarchy.fast_reads
+        tracer.gauges["hierarchy.fast_writes"] = env.hierarchy.fast_writes
     tracer.finish()
     return RunOutcome(
         observations=observations, fatal_reason=fatal_reason,

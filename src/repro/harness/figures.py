@@ -151,12 +151,13 @@ def error_behavior(
     seeds: "tuple[int, ...]" = DEFAULT_SEEDS,
     fault_scale: float = DEFAULT_FAULT_SCALE,
     engine: "CampaignEngine | None" = None,
+    injector: str = "reference",
 ) -> "dict[str, dict[float, dict[str, float]]]":
     """plane -> Cr -> category -> mean error probability (plus 'fatal')."""
     configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed,
         cycle_time=cycle_time, policy=NO_DETECTION,
-        fault_scale=fault_scale, planes=plane)
+        fault_scale=fault_scale, planes=plane, injector=injector)
         for plane in planes for cycle_time in cycle_times for seed in seeds]
     outcomes = iter(_engine(engine).run(configs))
     results: "dict[str, dict[float, dict[str, float]]]" = {}
@@ -218,6 +219,7 @@ def fig8_fatal_probabilities(
     seeds: "tuple[int, ...]" = DEFAULT_SEEDS,
     fault_scale: float = DEFAULT_FAULT_SCALE,
     engine: "CampaignEngine | None" = None,
+    injector: str = "reference",
 ) -> "dict[str, dict[float, float]]":
     """app -> Cr -> fatal errors per offered packet (no detection).
 
@@ -227,7 +229,7 @@ def fig8_fatal_probabilities(
     configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed,
         cycle_time=cycle_time, policy=NO_DETECTION,
-        fault_scale=fault_scale)
+        fault_scale=fault_scale, injector=injector)
         for app in apps for cycle_time in cycle_times for seed in seeds]
     outcomes = iter(_engine(engine).run(configs))
     results: "dict[str, dict[float, float]]" = {}
@@ -297,6 +299,7 @@ def edf_products(
     fault_scale: float = DEFAULT_FAULT_SCALE,
     exponents: MetricExponents = PAPER_EXPONENTS,
     engine: "CampaignEngine | None" = None,
+    injector: str = "reference",
 ) -> "list[EdfCell]":
     """Every (policy, setting) bar for one application.
 
@@ -310,11 +313,12 @@ def edf_products(
             app=app, packet_count=packet_count, seed=seed,
             cycle_time=1.0 if setting == "dynamic" else setting,
             policy=policy, dynamic=setting == "dynamic",
-            fault_scale=fault_scale)
+            fault_scale=fault_scale, injector=injector)
 
     baseline_configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed, cycle_time=1.0,
-        policy=NO_DETECTION, fault_scale=fault_scale) for seed in seeds]
+        policy=NO_DETECTION, fault_scale=fault_scale,
+        injector=injector) for seed in seeds]
     cell_configs = [cell_config(policy, setting, seed)
                     for policy in policies for setting in settings
                     for seed in seeds]

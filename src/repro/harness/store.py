@@ -42,7 +42,8 @@ from repro.harness.experiment import ExperimentResult
 #: Bump on any simulator change that alters results for an unchanged
 #: config (fault model calibration, cache geometry defaults, energy
 #: accounting, ...).  Old entries then miss and re-simulate.
-CODE_VERSION = "clumsy-repro-v1"
+#: v2: the config JSON schema gained the ``injector`` field.
+CODE_VERSION = "clumsy-repro-v2"
 
 #: Hex digits of the chunk-key digest used in chunk file names.
 _CHUNK_DIGEST_LENGTH = 12

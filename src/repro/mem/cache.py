@@ -109,8 +109,12 @@ class Cache:
         self.num_sets = size // (line_size * associativity)
         self.lower = lower
         self.stats = CacheStatistics()
-        self._sets: "list[list[CacheLine]]" = [[] for _ in range(self.num_sets)]
-        self._clock = 0
+        #: Per-set ways and the LRU clock.  Public: the fault-free fast
+        #: lane (repro.mem.view / repro.mem.hierarchy) performs its
+        #: hit-only lookups inline; treat as read-mostly internals
+        #: elsewhere.
+        self.sets: "list[list[CacheLine]]" = [[] for _ in range(self.num_sets)]
+        self.clock = 0
         self._on_fill = on_fill
         self._on_writeback = on_writeback
         # Optional telemetry tracer (duck-typed; None keeps the mem layer
@@ -144,7 +148,7 @@ class Cache:
     # -- lookup / fill ---------------------------------------------------------
 
     def _find(self, set_index: int, tag: int) -> "CacheLine | None":
-        for line in self._sets[set_index]:
+        for line in self.sets[set_index]:
             if line.tag == tag:
                 return line
         return None
@@ -161,7 +165,7 @@ class Cache:
             self.lower.write_block(line_address, data)
 
     def _evict_if_needed(self, set_index: int) -> None:
-        ways = self._sets[set_index]
+        ways = self.sets[set_index]
         if len(ways) < self.associativity:
             return
         victim = min(ways, key=lambda line: line.last_use)
@@ -184,8 +188,8 @@ class Cache:
         self._evict_if_needed(set_index)
         data = bytearray(self._lower_read_line(line_address))
         line = CacheLine(tag=self._tag(line_address), data=data,
-                         last_use=self._clock)
-        self._sets[set_index].append(line)
+                         last_use=self.clock)
+        self.sets[set_index].append(line)
         if self._tracer is not None and self._tracer.enabled:
             self._tracer.counters.bump(f"{self.name}.fills")
         if self._on_fill is not None:
@@ -196,14 +200,14 @@ class Cache:
                      ) -> "tuple[CacheLine, int, bool]":
         """Common hit/miss path; returns (line, offset-in-line, was_hit)."""
         self._check_within_line(address, length)
-        self._clock += 1
+        self.clock += 1
         line_address = self.line_address(address)
         set_index = self._set_index(line_address)
         line = self._find(set_index, self._tag(line_address))
         hit = line is not None
         if line is None:
             line = self._fill(line_address)
-        line.last_use = self._clock
+        line.last_use = self.clock
         return line, address - line_address, hit
 
     # -- public access API ------------------------------------------------------
@@ -276,7 +280,7 @@ class Cache:
         line = self._find(set_index, self._tag(line_address))
         if line is None:
             return False
-        self._sets[set_index].remove(line)
+        self.sets[set_index].remove(line)
         self.stats.invalidations += 1
         if self._tracer is not None and self._tracer.enabled:
             self._tracer.counters.bump(f"{self.name}.invalidations")
@@ -289,7 +293,7 @@ class Cache:
         does, so the owner's bookkeeping (energy, parity poisoning) stays
         consistent.
         """
-        for set_index, ways in enumerate(self._sets):
+        for set_index, ways in enumerate(self.sets):
             for line in ways:
                 if line.dirty:
                     self.stats.writebacks += 1
@@ -303,4 +307,4 @@ class Cache:
     @property
     def resident_lines(self) -> int:
         """Number of valid lines currently held (for tests)."""
-        return sum(len(ways) for ways in self._sets)
+        return sum(len(ways) for ways in self.sets)

@@ -36,6 +36,34 @@ cancel).
 Only CPU-initiated accesses draw faults; line fills and writebacks are
 assumed protected by the bus.  The hierarchy charges all latency (stall
 cycles) and energy to a :class:`repro.cpu.processor.Processor`.
+
+Fault-free fast lane
+--------------------
+When the injector can promise stretches of fault-free accesses (it
+sets ``supports_skip`` -- see
+:class:`repro.mem.faults.GeometricFaultInjector`) *and* none of the
+words the access covers are tracked as corrupted (detection, scrubbing,
+silent-corruption accounting, and corruption-clearing writes all only
+act on corrupted words), the accessor takes the whole scheduled
+fault-free gap as a *lease* (``acquire_skip_lease``) and serves
+resident line-contained accesses on a short path that bypasses the
+per-access fault bookkeeping: no Bernoulli draw, no corruption-set
+algebra, no detection outcome classification, precomputed stall/energy
+charges (``fast_read_stall``/``fast_read_energy``/
+``fast_write_energy``, kept current by ``_refresh_fast_lane``), and one
+counter decrement per access instead of an injector round-trip.  The
+lane itself lives inline in :class:`repro.mem.view.MemView` (the sole
+caller of :meth:`read`/:meth:`write`); this module owns the shared
+lease state (``skip_lease``) and the refund contract: any access the
+lane cannot serve falls back here, and :meth:`read`/:meth:`write`
+return the unspent lease (``refund_skip_lease``) before drawing for
+the access, so the fault schedule is followed exactly.  The fast lane
+is behaviourally invisible -- cache statistics, LRU state, stall
+cycles, and energy are identical to the full path, and parity/recovery
+semantics are untouched because they can only act when a fault or
+tracked corruption exists, which is exactly when the lane disengages.
+Misses and straddling accesses always fall back to the full path
+(fills, telemetry counters, and wild-access handling live there).
 """
 
 from __future__ import annotations
@@ -134,7 +162,7 @@ class MemoryHierarchy:
         self._cycle_time = cycle_time
         #: word-aligned address -> positions (0..31) where the stored L1
         #: data disagrees with what the check bits were generated from.
-        self._corruption: "dict[int, frozenset[int]]" = {}
+        self.corruption: "dict[int, frozenset[int]]" = {}
         self.detected_faults = 0
         self.corrected_faults = 0
         self.undetected_corruptions = 0
@@ -155,6 +183,15 @@ class MemoryHierarchy:
         self.tracer = NULL_TRACER
         #: Engine id stamped on emitted events (multicore sets it).
         self.engine_id = 0
+        #: Accesses served by the fault-free fast lane (aggregates; the
+        #: lane itself stays event-free, experiment teardown exports
+        #: these as telemetry gauges).
+        self.fast_reads = 0
+        self.fast_writes = 0
+        #: Fault-free accesses leased from the injector but not yet
+        #: spent (see the module docstring's fast-lane protocol).
+        self.skip_lease = 0
+        self._refresh_fast_lane()
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -207,12 +244,35 @@ class MemoryHierarchy:
             return
         previous = self._cycle_time
         self._cycle_time = relative_cycle_time
+        if self.skip_lease:
+            # The lease was sampled at the old rate; hand it back so the
+            # injector can re-derive the schedule at the new one.
+            self.injector.refund_skip_lease(self.skip_lease)
+            self.skip_lease = 0
+        self._refresh_fast_lane()
         self.processor.frequency_change_penalty()
         if self.tracer.enabled:
             self.tracer.emit(FrequencySwitch(
                 cycle=self.processor.cycles, engine=self.engine_id,
                 previous_cr=previous, new_cr=relative_cycle_time,
                 reason=reason))
+
+    def _refresh_fast_lane(self) -> None:
+        """Precompute the fast lane's per-access stall and energy charges.
+
+        The charges are evaluated through exactly the expressions the
+        full path uses (``l1d_access_energy`` at the current ``Cr`` and
+        protection code, the one-core-cycle load-use floor), so a
+        fast-lane access accumulates bit-identical floats.  Re-derived on
+        every clock change.
+        """
+        model = self.processor.energy.model
+        code = self.policy.code
+        self.fast_read_stall = max(1.0, self._l1_latency * self._cycle_time)
+        self.fast_read_energy = model.l1d_access_energy(
+            False, self._cycle_time, code=code)
+        self.fast_write_energy = model.l1d_access_energy(
+            True, self._cycle_time, code=code)
 
     # -- energy / latency callbacks ------------------------------------------------
 
@@ -249,9 +309,9 @@ class MemoryHierarchy:
         # scheme allows.
         if self.policy.corrects_faults:
             end = line_address + self.l1d.line_size
-            for word in [word for word in self._corruption
+            for word in [word for word in self.corruption
                          if line_address <= word < end]:
-                bits = self._corruption[word]
+                bits = self.corruption[word]
                 if len(bits) == 1 and self.l2.contains(word):
                     stored = int.from_bytes(self.l2.poke_read(word, 4),
                                             "little")
@@ -263,10 +323,10 @@ class MemoryHierarchy:
 
     def _drop_corruption_in_line(self, line_address: int) -> None:
         end = line_address + self.l1d.line_size
-        stale = [word for word in self._corruption
+        stale = [word for word in self.corruption
                  if line_address <= word < end]
         for word in stale:
-            del self._corruption[word]
+            del self.corruption[word]
 
     # -- fault bookkeeping --------------------------------------------------------
 
@@ -309,7 +369,7 @@ class MemoryHierarchy:
         """Stored XOR in-flight corruption per covered word (non-empty only)."""
         combined = {}
         for word in self._covered_words(address, length):
-            mixture = (self._corruption.get(word, frozenset())
+            mixture = (self.corruption.get(word, frozenset())
                        ^ read_flips.get(word, frozenset()))
             if mixture:
                 combined[word] = mixture
@@ -317,7 +377,7 @@ class MemoryHierarchy:
 
     def _scrub(self, word: int) -> None:
         """Repair a stored single-bit corruption in place (SEC-DED)."""
-        bits = self._corruption.pop(word, None)
+        bits = self.corruption.pop(word, None)
         if not bits or not self.l1d.contains(word):
             return
         stored = int.from_bytes(self.l1d.poke_read(word, 4), "little")
@@ -381,7 +441,7 @@ class MemoryHierarchy:
             if address <= byte_address < address + length:
                 value ^= 1 << ((byte_address - address) * 8 + bit % 8)
             self.corrected_faults += 1
-            if word in self._corruption:
+            if word in self.corruption:
                 self._scrub(word)
         return value, "corrected"
 
@@ -402,7 +462,7 @@ class MemoryHierarchy:
                 self.stall_cycles_l2 += self._l2_latency
                 self.processor.energy.charge_l2_access()
                 self.l1d.poke(word, fresh)
-                self._corruption.pop(word, None)
+                self.corruption.pop(word, None)
                 self.sub_block_refills += 1
                 refetched += 1
             if self.tracer.enabled:
@@ -433,6 +493,13 @@ class MemoryHierarchy:
         if all N detect an uncorrectable failure the recovery action fires
         and the word is serviced from the reliable L2.
         """
+        if self.skip_lease > 0:
+            # The view-level fast lane transferred the schedule gap but
+            # could not serve this access (miss or straddle); return the
+            # unspent lease so the draws below continue the schedule
+            # exactly where the fast lane left it.
+            self.injector.refund_skip_lease(self.skip_lease)
+            self.skip_lease = 0
         value, outcome = self._raw_read(address, length)
         if outcome != "detected":
             return value
@@ -487,6 +554,11 @@ class MemoryHierarchy:
             raise ValueError(
                 f"value {value:#x} does not fit in {length} bytes")
         data = value.to_bytes(length, "little")
+        if self.skip_lease > 0:
+            # Same contract as in read(): the fast lane declined, so the
+            # outstanding lease must be returned before any draw below.
+            self.injector.refund_skip_lease(self.skip_lease)
+            self.skip_lease = 0
         try:
             self.l1d.write(address, data)
         except StraddlingAccessError:
@@ -500,7 +572,7 @@ class MemoryHierarchy:
         event = self.injector.draw(self._cycle_time, length * 8)
         if event is None:
             for word in words:
-                self._corruption.pop(word, None)
+                self.corruption.pop(word, None)
             return
         self.injector.record_kind(is_write=True)
         self.fault_sites.append((address, True))
@@ -514,9 +586,9 @@ class MemoryHierarchy:
             # intended value, so tracking reflects only this write.
             bits = flip_map.get(word, frozenset())
             if bits:
-                self._corruption[word] = bits
+                self.corruption[word] = bits
             else:
-                self._corruption.pop(word, None)
+                self.corruption.pop(word, None)
         # With a protection code, silent corruption is counted when a read
         # delivers it (the _raw_read paths); without one, count it here.
         if not self.policy.detects_faults:

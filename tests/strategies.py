@@ -1,0 +1,56 @@
+"""Shared hypothesis strategies for the property-based tests.
+
+The kernel oracles, the mixed-width architectural equivalence test, and
+the injector statistical-equivalence suite all generate the same shapes
+of data (byte payloads, MemView access sequences, simulator knobs).
+Centralising the strategies keeps their bounds consistent -- a payload
+that exercises the MD5 padding boundaries, an operation mix that covers
+every accessor width -- instead of each file re-deriving them inline.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.constants import RELATIVE_CYCLE_LEVELS
+
+#: Every MemView accessor, as "<r|w><width-in-bits>" tags.
+ACCESS_KINDS = ("r8", "r16", "r32", "w8", "w16", "w32")
+
+
+def payloads(max_size: int, min_size: int = 0):
+    """Byte payloads (message bodies, packet data) up to ``max_size``.
+
+    Zero-length payloads are included by default: the empty message is a
+    boundary case for every kernel (checksum of nothing, MD5 of the
+    empty string, CRC of an empty region).
+    """
+    return st.binary(min_size=min_size, max_size=max_size)
+
+
+def memory_operations(span: int):
+    """``(kind, offset, value)`` MemView accesses within a window.
+
+    ``kind`` is drawn from :data:`ACCESS_KINDS`; ``offset`` stays at
+    least 4 bytes short of ``span`` so any width fits once the caller
+    aligns it; ``value`` covers the full u32 range (narrower writes mask
+    it down).
+    """
+    return st.tuples(
+        st.sampled_from(ACCESS_KINDS),
+        st.integers(min_value=0, max_value=span - 4),
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+    )
+
+
+def operation_sequences(span: int, max_size: int):
+    """Non-empty sequences of :func:`memory_operations` accesses."""
+    return st.lists(memory_operations(span), min_size=1, max_size=max_size)
+
+
+def seeds():
+    """Experiment seeds (any non-negative 31-bit value)."""
+    return st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def cycle_times():
+    """The paper's discrete relative cycle time (Cr) levels."""
+    return st.sampled_from(RELATIVE_CYCLE_LEVELS)

@@ -78,6 +78,26 @@ def test_determinism_flags_wall_clock():
     assert "determinism" in rules_hit("import os\nb = os.urandom(8)\n")
 
 
+def test_determinism_flags_unseeded_numpy_random():
+    assert "determinism" in rules_hit(
+        "import numpy\nx = numpy.random.random()\n")
+    assert "determinism" in rules_hit(
+        "import numpy as np\nx = np.random.rand(4)\n")
+    assert "determinism" in rules_hit(
+        "import numpy as np\nrng = np.random.default_rng()\n")
+    assert "determinism" in rules_hit(
+        "import numpy as np\nrng = np.random.RandomState()\n")
+
+
+def test_determinism_allows_seeded_numpy_generators():
+    assert rules_hit(
+        "import numpy as np\nrng = np.random.default_rng(42)\n") == set()
+    assert rules_hit(
+        "import numpy as np\nrng = np.random.default_rng(seed=42)\n") == set()
+    assert rules_hit(
+        "import numpy\nrng = numpy.random.RandomState(7)\n") == set()
+
+
 def test_determinism_flags_set_iteration():
     assert "determinism" in rules_hit(
         "for item in {1, 2, 3}:\n    print(item)\n")

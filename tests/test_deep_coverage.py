@@ -62,7 +62,7 @@ class TestSubBlockCornerCases:
         hierarchy.l1d.flush()
         hierarchy.write(0x100, 9, 4)
         hierarchy.l1d.invalidate_line(0x100)   # line gone before recovery
-        hierarchy._corruption.clear()
+        hierarchy.corruption.clear()
         assert hierarchy.read(0x100, 4) == 9
 
     def test_sub_block_charges_l2_energy(self):
@@ -81,11 +81,11 @@ class TestSecdedCornerCases:
         # Scrubbing a word whose line already left the L1 must be a no-op.
         hierarchy, _ = make_hierarchy(policy=SECDED, script=[ODD])
         hierarchy.write(0x100, 3, 4)
-        hierarchy._corruption[0x100] = frozenset({3})
+        hierarchy.corruption[0x100] = frozenset({3})
         hierarchy.l1d.invalidate_line(0x100)
-        hierarchy._corruption[0x100] = frozenset({3})
+        hierarchy.corruption[0x100] = frozenset({3})
         hierarchy._scrub(0x100)           # line not resident
-        assert 0x100 not in hierarchy._corruption
+        assert 0x100 not in hierarchy.corruption
 
     def test_correction_of_bit_outside_accessed_bytes(self):
         # A stored single-bit corruption in byte 3 of the word; a byte

@@ -18,13 +18,13 @@ class TestNarrowAccessCorruption:
         hierarchy, _ = make_hierarchy(policy=TWO_STRIKE,
                                       script=[FaultEvent(bit_positions=(3,))])
         hierarchy.write(0x102, 0x00, 1)    # byte write, corrupted
-        assert hierarchy._corruption == {0x100: frozenset({19})}
+        assert hierarchy.corruption == {0x100: frozenset({19})}
 
     def test_u16_write_fault_high_byte(self):
         hierarchy, _ = make_hierarchy(policy=TWO_STRIKE,
                                       script=[FaultEvent(bit_positions=(9,))])
         hierarchy.write(0x102, 0x0000, 2)  # halfword at offset 2
-        assert hierarchy._corruption == {0x100: frozenset({25})}
+        assert hierarchy.corruption == {0x100: frozenset({25})}
 
     def test_narrow_read_detects_word_poison(self):
         # Poison via a byte write; a later byte read of the same word
@@ -41,7 +41,7 @@ class TestNarrowAccessCorruption:
         event = FaultEvent(bit_positions=(0, 8))
         hierarchy, _ = make_hierarchy(policy=TWO_STRIKE, script=[event])
         hierarchy.write(0x103, 0x0000, 2)
-        assert hierarchy._corruption == {0x100: frozenset({24}),
+        assert hierarchy.corruption == {0x100: frozenset({24}),
                                          0x104: frozenset({0})}
 
 

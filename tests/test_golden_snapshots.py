@@ -6,6 +6,14 @@ seeds or traces, so their rendered artifacts are frozen under
 (recalibration) must update the snapshot *and* DESIGN.md's calibration
 section together; this test is the tripwire.
 
+The ``result_<app>.txt`` snapshots freeze the full default-config
+:class:`ExperimentResult` repr per application.  The default config uses
+the *reference* injector, so these guard two invariants at once: the
+simulation is seed-deterministic, and the fault-free fast lane is
+strictly opt-in -- any leak of fast-lane behaviour into reference runs
+(an extra RNG draw, a divergent stall or energy charge) shows up as a
+byte diff here.
+
 Regenerate a snapshot intentionally with::
 
     python - <<'PY'
@@ -18,7 +26,10 @@ import pathlib
 
 import pytest
 
+from repro.core.constants import NETBENCH_APPS
 from repro.harness import figures
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -38,7 +49,24 @@ def test_analytic_artifact_matches_snapshot(name):
 
 
 def test_snapshots_exist_for_every_analytic_figure():
-    assert {path.stem for path in GOLDEN_DIR.glob("*.txt")} == set(RENDERERS)
+    expected = set(RENDERERS) | {f"result_{app}" for app in NETBENCH_APPS}
+    assert {path.stem for path in GOLDEN_DIR.glob("*.txt")} == expected
+
+
+@pytest.mark.parametrize("app", NETBENCH_APPS)
+def test_default_config_result_matches_snapshot(app):
+    expected = (GOLDEN_DIR / f"result_{app}.txt").read_text()
+    result = run_experiment(ExperimentConfig(app=app))
+    assert repr(result) + "\n" == expected
+
+
+def test_result_snapshots_pin_the_reference_injector():
+    # The guard is only meaningful if the frozen configs really are
+    # reference-injector runs; a regenerated snapshot that silently
+    # switched injectors would otherwise weaken it.
+    for app in NETBENCH_APPS:
+        text = (GOLDEN_DIR / f"result_{app}.txt").read_text()
+        assert "injector='reference'" in text
 
 
 def test_snapshots_carry_the_calibration_anchors():

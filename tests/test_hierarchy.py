@@ -177,7 +177,7 @@ class TestEvictionContainment:
         hierarchy, _ = make_hierarchy(policy=TWO_STRIKE, script=[ODD])
         hierarchy.write(0x100, 0, 4)
         hierarchy.l1d.flush()
-        assert not hierarchy._corruption
+        assert not hierarchy.corruption
 
 
 class TestClockControl:

@@ -5,7 +5,7 @@ import hashlib
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.apps.checksum import checksum_region, update_ttl_and_checksum
 from repro.apps.crc32 import (
@@ -17,6 +17,7 @@ from repro.apps.crc32 import (
 from repro.apps.md5 import Md5Kernel, t_table_values
 from repro.net.ip import Ipv4Header, internet_checksum
 from tests.conftest import build_test_environment
+from tests.strategies import payloads
 
 
 class TestChecksumKernel:
@@ -43,7 +44,7 @@ class TestChecksumKernel:
         assert checksum_region(env, 0x1000, 20) == 0
 
     @settings(max_examples=25, deadline=None)
-    @given(st.binary(min_size=0, max_size=60))
+    @given(payloads(max_size=60))
     def test_property_matches_reference(self, data):
         env = build_test_environment()
         env.view.write_bytes(0x1000, data)
@@ -110,7 +111,7 @@ class TestCrcKernel:
             crc32_region(env, table, 0x1000, -1)
 
     @settings(max_examples=20, deadline=None)
-    @given(st.binary(min_size=0, max_size=80))
+    @given(payloads(max_size=80))
     def test_property_matches_binascii(self, message):
         env = build_test_environment()
         table = build_crc_table(env)
@@ -159,7 +160,7 @@ class TestMd5Kernel:
             kernel.digest(0x1000, -1)
 
     @settings(max_examples=15, deadline=None)
-    @given(st.binary(min_size=0, max_size=200))
+    @given(payloads(max_size=200))
     def test_property_matches_hashlib(self, message):
         env = build_test_environment()
         kernel = Md5Kernel(env)

@@ -6,18 +6,13 @@ u8/u16/u32 accesses must match a flat reference memory, fault-free.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from tests.conftest import build_test_environment
+from tests.strategies import operation_sequences
 
 BASE = 0x1000
 SPAN = 1024  # bytes of the exercised window
-
-operation = st.tuples(
-    st.sampled_from(["r8", "r16", "r32", "w8", "w16", "w32"]),
-    st.integers(min_value=0, max_value=SPAN - 4),
-    st.integers(min_value=0, max_value=2 ** 32 - 1),
-)
 
 
 def aligned(kind: str, offset: int) -> int:
@@ -27,7 +22,7 @@ def aligned(kind: str, offset: int) -> int:
 
 class TestMixedWidthEquivalence:
     @settings(max_examples=40, deadline=None)
-    @given(st.lists(operation, min_size=1, max_size=250))
+    @given(operation_sequences(SPAN, max_size=250))
     def test_view_matches_flat_reference(self, operations):
         env = build_test_environment()
         view = env.view
@@ -48,7 +43,7 @@ class TestMixedWidthEquivalence:
                 assert got == expected
 
     @settings(max_examples=15, deadline=None)
-    @given(st.lists(operation, min_size=1, max_size=120))
+    @given(operation_sequences(SPAN, max_size=120))
     def test_flush_preserves_architectural_state(self, operations):
         env = build_test_environment()
         view = env.view

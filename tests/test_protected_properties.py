@@ -92,9 +92,17 @@ class TestSecdedNeverWrong:
     @given(st.integers(min_value=0, max_value=10_000))
     def test_property_random_seeds(self, seed):
         injector = SingleBitInjector(seed=seed, probability=0.08)
-        mismatches, _ = run_random_program(
+        mismatches, hierarchy = run_random_program(
             SECDED, injector, operations=250, seed=seed)
-        assert mismatches == 0
+        # Single-bit faults per access can still *accumulate*: two hits
+        # on the same word of a dirty line form a double error, which
+        # SEC-DED detects but cannot correct -- recovery invalidates the
+        # line and the dirty data is lost (the read then sees stale L2
+        # contents; seed 616 realises this).  That is detected loss, not
+        # silent corruption: every mismatch must be covered by a
+        # recovery invalidation, and nothing may slip through unflagged.
+        assert hierarchy.undetected_corruptions == 0
+        assert mismatches <= hierarchy.recovery_invalidations
 
 
 class TestParityAbsorbsTransients:

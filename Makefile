@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench artifacts examples trace-demo all clean
+.PHONY: install test lint typecheck check check-deep bench artifacts examples trace-demo all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,15 @@ lint:
 # elsewhere (configured in pyproject.toml).
 typecheck:
 	PYTHONPATH=src $(PYTHON) -m mypy
+
+# Verification oracle (see docs/VERIFICATION.md): differential twins,
+# metamorphic invariants, and a seeded config fuzz over all seven apps.
+# Shrunk failing configs are filed in .repro-fuzz-corpus.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro check --quick
+
+check-deep:
+	PYTHONPATH=src $(PYTHON) -m repro check --deep
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -44,7 +53,7 @@ examples:
 	$(PYTHON) examples/operating_point.py route
 	$(PYTHON) examples/multicore_np.py
 
-all: lint test bench
+all: lint test check bench
 
 clean:
 	rm -rf build *.egg-info .pytest_cache .hypothesis .repro-cache

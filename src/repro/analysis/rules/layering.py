@@ -40,18 +40,24 @@ LAYER_DAG: "dict[str, frozenset[str]]" = {
                          "telemetry", "util"}),
     "harness": frozenset({"net", "mem", "cpu", "core", "apps",
                           "telemetry", "system", "analysis", "util"}),
+    # The verification oracle treats the simulator as the system under
+    # test: it drives the harness (and everything below it) but nothing
+    # may import it except the package root and the facade.
+    "oracle": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
+                         "system", "harness", "util"}),
     # The public facade (repro/api.py) sits beside the package root: it
     # re-exports the supported surface and may therefore reach anything.
     "api": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                      "system", "harness", "analysis", "util"}),
+                      "system", "harness", "analysis", "oracle", "util"}),
     "repro": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                        "system", "harness", "analysis", "util", "api"}),
+                        "system", "harness", "analysis", "oracle", "util",
+                        "api"}),
 }
 
 #: Layers that may import :mod:`repro.telemetry` (the instrumented
 #: consumers); implied by LAYER_DAG but named for the error message.
-TELEMETRY_CONSUMERS = frozenset({"mem", "system", "harness", "telemetry",
-                                 "api", "repro"})
+TELEMETRY_CONSUMERS = frozenset({"mem", "system", "harness", "oracle",
+                                 "telemetry", "api", "repro"})
 
 
 def _imported_repro_modules(context: FileContext,

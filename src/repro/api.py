@@ -32,7 +32,14 @@ The surface covers four layers of use:
 * **fault sampling** -- :class:`FaultInjector` (the per-access
   reference sampler), :class:`GeometricFaultInjector` (the skip-sampling
   equivalent behind ``ExperimentConfig(injector="geometric")``), and
-  :data:`INJECTOR_NAMES`.
+  :data:`INJECTOR_NAMES`;
+* **verification** -- the oracle subsystem behind ``python -m repro
+  check`` (see docs/VERIFICATION.md): :func:`run_check` /
+  :class:`OracleReport`, the differential twins (:func:`run_differential`,
+  :class:`Divergence`), the metamorphic invariants
+  (:func:`check_invariants`, :func:`register_invariant`,
+  :class:`Violation`), and the config fuzzer (:func:`run_fuzz`,
+  :class:`FuzzReport`, :func:`replay_corpus_entry`).
 """
 
 from __future__ import annotations
@@ -66,6 +73,14 @@ from repro.mem.faults import (
     GeometricFaultInjector,
     make_injector,
 )
+from repro.oracle.check import OracleReport, run_check
+from repro.oracle.differential import Divergence, run_differential
+from repro.oracle.fuzz import FuzzReport, replay_corpus_entry, run_fuzz
+from repro.oracle.invariants import (
+    Violation,
+    check_invariants,
+    register_invariant,
+)
 from repro.system.multicore import MulticoreResult, run_multicore
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
@@ -74,16 +89,19 @@ __all__ = [
     "CODE_VERSION",
     "CampaignEngine",
     "DEFAULT_FAULT_SCALE",
+    "Divergence",
     "EXTENSION_POLICIES",
     "ExperimentConfig",
     "ExperimentResult",
     "FaultInjector",
+    "FuzzReport",
     "GeometricFaultInjector",
     "INJECTOR_NAMES",
     "MulticoreResult",
     "NO_DETECTION",
     "NULL_TRACER",
     "ONE_STRIKE",
+    "OracleReport",
     "PLANES",
     "RecoveryPolicy",
     "ResultStore",
@@ -91,15 +109,22 @@ __all__ = [
     "THREE_STRIKE",
     "TWO_STRIKE",
     "Tracer",
+    "Violation",
     "canonical_json",
+    "check_invariants",
     "config_key",
     "default_engine",
     "load_results",
     "make_injector",
     "map_parallel",
     "policy_by_name",
+    "register_invariant",
+    "replay_corpus_entry",
+    "run_check",
+    "run_differential",
     "run_experiment",
     "run_experiments",
+    "run_fuzz",
     "run_multicore",
     "save_results",
     "sweep",

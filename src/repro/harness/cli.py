@@ -10,11 +10,16 @@ Usage::
     python -m repro fig12b --injector geometric
     python -m repro trace route --packets 200
     python -m repro lint --json
+    python -m repro check --quick
 
 Experiment ids follow DESIGN.md's experiment index.  ``trace`` is a
 subcommand (see :mod:`repro.harness.tracecmd`): it runs one traced
 experiment and exports its telemetry event log.  ``lint`` runs
 reprolint, the AST-based invariant linter (see :mod:`repro.analysis`).
+``check`` runs the verification oracle (see :mod:`repro.oracle` and
+docs/VERIFICATION.md) -- it is dispatched by :mod:`repro.__main__`, not
+here, because the oracle layer sits above the harness and this module
+must not import it.
 
 Caching: ``--cache-dir PATH`` routes every simulation through the
 content-addressed result store (see :mod:`repro.harness.store`), so a
@@ -234,6 +239,11 @@ def main(argv: "list[str] | None" = None) -> int:
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "check":
+        # Layering: the oracle imports the harness, never the reverse.
+        print("repro check is dispatched by 'python -m repro check' "
+              "(repro.__main__), not the harness CLI", file=sys.stderr)
+        return 2
     renderers = _experiment_renderers()
     parser = argparse.ArgumentParser(
         prog="repro",

@@ -67,15 +67,23 @@ class CampaignEngine:
     # -- the public run API ---------------------------------------------------
 
     def run(self, configs: "list[ExperimentConfig]",
-            ) -> "list[ExperimentResult]":
+            refresh: bool = False) -> "list[ExperimentResult]":
         """Run every config (cache-first), returning results in input order.
 
         Duplicate configs (same content address) simulate once and share
         the result.  An empty list -- e.g. an all-cached campaign after
         partitioning elsewhere -- returns an empty list.
+
+        ``refresh=True`` skips the cache-read partition and re-simulates
+        every config, still persisting the fresh results (overwriting in
+        place, since the content address is unchanged).  The differential
+        oracle uses this to compare stored bytes against a forced
+        re-simulation without clearing the store.
         """
         self.counters.bump("campaign.runs")
         self.counters.bump("campaign.configs", len(configs))
+        if refresh:
+            self.counters.bump("campaign.refreshed", len(configs))
         if not configs:
             return []
         keys = [self._key(config) for config in configs]
@@ -84,7 +92,8 @@ class CampaignEngine:
         for key, config in zip(keys, configs):
             if key in resolved or key in missing:
                 continue
-            cached = self.store.get(key) if self.store is not None else None
+            cached = (None if refresh or self.store is None
+                      else self.store.get(key))
             if cached is not None:
                 resolved[key] = cached
                 self.counters.bump("campaign.cache_hits")

@@ -1,0 +1,98 @@
+"""``python -m repro check``: CLI front-end for the oracle pass.
+
+Usage::
+
+    python -m repro check --quick
+    python -m repro check --deep --fuzz-budget 100
+    python -m repro check --quick --apps crc,route --json
+    python -m repro check --quick --corpus-dir .repro-fuzz-corpus
+
+Exit code 0 means every mechanism (differential twins, invariant sweep,
+config fuzz) came back clean; 1 means at least one divergence,
+violation, or fuzz failure -- details on stdout (text or ``--json``).
+The dispatch lives in :mod:`repro.__main__` because the harness CLI
+sits *below* the oracle in the layering DAG and must not import it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.constants import NETBENCH_APPS
+from repro.oracle.check import MODES, run_check
+
+#: Default corpus directory for failing fuzz configs.
+DEFAULT_CORPUS_DIR = ".repro-fuzz-corpus"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """argparse entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Differential & metamorphic verification of the "
+                    "simulator (see docs/VERIFICATION.md)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--quick", action="store_const", dest="mode",
+                       const="quick",
+                       help="CI-sized pass: small sweeps, short runs "
+                            "(the default)")
+    group.add_argument("--deep", action="store_const", dest="mode",
+                       const="deep",
+                       help="wide pass: every cycle time and paper "
+                            "policy, epoch-crossing dynamic runs, a "
+                            "larger fuzz budget")
+    parser.set_defaults(mode="quick")
+    parser.add_argument("--fuzz-budget", type=int, default=None,
+                        metavar="N",
+                        help="fuzz trials to run (0 disables fuzzing; "
+                             "default: " + ", ".join(
+                                 f"{name}={shape['fuzz_budget']}"
+                                 for name, shape in sorted(MODES.items()))
+                             + ")")
+    parser.add_argument("--fuzz-seed", type=int, default=0,
+                        help="RNG seed for the config fuzzer (default 0; "
+                             "same seed+budget visits the same configs)")
+    parser.add_argument("--apps", default=None, metavar="A,B,...",
+                        help="comma-separated app subset (default: all "
+                             f"of {','.join(NETBENCH_APPS)})")
+    parser.add_argument("--corpus-dir", default=DEFAULT_CORPUS_DIR,
+                        metavar="PATH",
+                        help="where shrunk failing fuzz configs are "
+                             f"filed (default {DEFAULT_CORPUS_DIR}; "
+                             "files are written only on failure)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report instead "
+                             "of text")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-stage progress on stderr")
+    args = parser.parse_args(argv)
+    if args.fuzz_budget is not None and args.fuzz_budget < 0:
+        parser.error("--fuzz-budget must be non-negative")
+    apps = None
+    if args.apps is not None:
+        apps = tuple(part.strip() for part in args.apps.split(",")
+                     if part.strip())
+    progress = None
+    if not args.quiet:
+        def progress(message: str) -> None:
+            print(message, file=sys.stderr)
+    try:
+        report = run_check(
+            mode=args.mode, apps=apps, fuzz_budget=args.fuzz_budget,
+            fuzz_seed=args.fuzz_seed, corpus_dir=args.corpus_dir,
+            progress=progress)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

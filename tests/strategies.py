@@ -11,9 +11,41 @@ every accessor width -- instead of each file re-deriving them inline.
 from hypothesis import strategies as st
 
 from repro.core.constants import RELATIVE_CYCLE_LEVELS
+from repro.core.recovery import TWO_STRIKE
+from repro.harness.config import ExperimentConfig
+from repro.oracle.fuzz import CONFIG_SPACE, build_config
 
 #: Every MemView accessor, as "<r|w><width-in-bits>" tags.
 ACCESS_KINDS = ("r8", "r16", "r32", "w8", "w16", "w32")
+
+
+def make_config(app="tl", seed=3, **overrides):
+    """A small, fault-heavy campaign config (the engine tests' default).
+
+    Every axis can be overridden; the defaults keep simulation cheap
+    (25 packets) while still injecting real faults (Cr=0.5 at 30x fault
+    scale under two-strike recovery).
+    """
+    defaults = dict(app=app, packet_count=25, seed=seed, cycle_time=0.5,
+                    policy=TWO_STRIKE, fault_scale=30.0)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def experiment_configs():
+    """Valid :class:`ExperimentConfig` objects across the fuzzer's space.
+
+    Draws one index per :data:`repro.oracle.fuzz.CONFIG_SPACE` axis and
+    materialises through :func:`repro.oracle.fuzz.build_config`, so the
+    hypothesis tests and the config fuzzer explore the *same* space --
+    every generated config is valid by construction and shrinks toward
+    the all-benign corner (hypothesis minimises each index toward 0,
+    which is also the fuzzer's shrinking target).
+    """
+    return st.fixed_dictionaries({
+        axis: st.integers(min_value=0, max_value=len(options) - 1)
+        for axis, options in CONFIG_SPACE.items()
+    }).map(build_config)
 
 
 def payloads(max_size: int, min_size: int = 0):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.recovery import TWO_STRIKE
+from repro.core.recovery import NO_DETECTION, TWO_STRIKE
 from repro.harness.campaign import (
     CampaignResult,
     SingleFaultInjector,
@@ -10,8 +10,17 @@ from repro.harness.campaign import (
     render_campaign,
     run_campaign,
 )
-from repro.harness.config import ExperimentConfig
 from repro.harness.experiment import run_experiment
+from tests.strategies import make_config
+
+
+def campaign_config(**overrides):
+    """The AVF-campaign base config (ExperimentConfig defaults: seed 7,
+    no detection, 10x fault scale), sized per test via overrides."""
+    defaults = dict(app="crc", seed=7, packet_count=60, cycle_time=0.5,
+                    policy=NO_DETECTION, fault_scale=10.0)
+    defaults.update(overrides)
+    return make_config(**defaults)
 
 
 class TestSingleFaultInjector:
@@ -48,7 +57,7 @@ class TestSingleFaultInjector:
     def test_integration_with_run_experiment(self):
         injector = SingleFaultInjector(target_access=500, bit_seed=3)
         result = run_experiment(
-            ExperimentConfig(app="crc", packet_count=30),
+            campaign_config(packet_count=30, cycle_time=1.0),
             injector_override=injector)
         assert injector.fired
         assert result.injected_faults == 1
@@ -58,9 +67,7 @@ class TestSingleFaultInjector:
 class TestCampaign:
     @pytest.fixture(scope="class")
     def campaign(self):
-        return run_campaign(
-            ExperimentConfig(app="crc", packet_count=60, cycle_time=0.5),
-            trials=20, seed=3)
+        return run_campaign(campaign_config(), trials=20, seed=3)
 
     def test_every_trial_fires(self, campaign):
         assert len(campaign.fired_trials) == 20
@@ -86,15 +93,11 @@ class TestCampaign:
 
     def test_trial_count_validated(self):
         with pytest.raises(ValueError):
-            run_campaign(ExperimentConfig(app="crc", packet_count=10),
+            run_campaign(campaign_config(packet_count=10, cycle_time=1.0),
                          trials=0)
 
     def test_detection_lowers_conversion(self):
-        exposed = run_campaign(
-            ExperimentConfig(app="crc", packet_count=60, cycle_time=0.5),
-            trials=20, seed=3)
-        protected = run_campaign(
-            ExperimentConfig(app="crc", packet_count=60, cycle_time=0.5,
-                             policy=TWO_STRIKE),
-            trials=20, seed=3)
+        exposed = run_campaign(campaign_config(), trials=20, seed=3)
+        protected = run_campaign(campaign_config(policy=TWO_STRIKE),
+                                 trials=20, seed=3)
         assert protected.error_conversion <= exposed.error_conversion

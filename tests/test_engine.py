@@ -7,17 +7,11 @@ import pytest
 from repro.core.constants import NETBENCH_APPS
 from repro.core.recovery import NO_DETECTION, TWO_STRIKE
 from repro.harness.campaign import SingleFaultInjector
-from repro.harness.config import ExperimentConfig
 from repro.harness.engine import CampaignEngine, default_engine
 from repro.harness.figures import render_edf
 from repro.harness.store import ResultStore
-
-
-def make_config(app="tl", seed=3, **overrides):
-    defaults = dict(app=app, packet_count=25, seed=seed, cycle_time=0.5,
-                    policy=TWO_STRIKE, fault_scale=30.0)
-    defaults.update(overrides)
-    return ExperimentConfig(**defaults)
+from repro.mem.faults import INJECTOR_NAMES
+from tests.strategies import make_config
 
 
 def sweep_configs(count=6):
@@ -36,6 +30,21 @@ class TestColdVsWarm:
         [warm_result] = warm.run([config])
         assert warm.counters.get("campaign.simulated") == 0
         assert warm.counters.get("campaign.cache_hits") == 1
+        assert repr(warm_result) == repr(cold_result)
+
+    @pytest.mark.parametrize("injector", sorted(INJECTOR_NAMES))
+    def test_repr_identical_per_injector(self, injector, tmp_path):
+        """The store round-trip is injector-agnostic (PR 3 x PR 4 seam):
+        cold and warm runs are repr-identical under either sampler."""
+        config = make_config(injector=injector)
+        cold = CampaignEngine(store=ResultStore(tmp_path))
+        [cold_result] = cold.run([config])
+        assert cold.counters.get("campaign.simulated") == 1
+        warm = CampaignEngine(store=ResultStore(tmp_path))
+        [warm_result] = warm.run([config])
+        assert warm.counters.get("campaign.simulated") == 0
+        assert warm.counters.get("campaign.cache_hits") == 1
+        assert warm_result.config.injector == injector
         assert repr(warm_result) == repr(cold_result)
 
     def test_storeless_engine_matches_cached(self, tmp_path):
@@ -99,6 +108,22 @@ class TestCachePartition:
         assert resumed.counters.get("campaign.simulated") == 4
         assert [repr(result) for result in results] == [
             repr(result) for result in reference]
+
+    def test_refresh_resimulates_and_matches_store(self, tmp_path):
+        """refresh=True skips cache reads, re-simulates, and re-persists
+        results that a later warm run reads back unchanged."""
+        configs = sweep_configs(3)
+        CampaignEngine(store=ResultStore(tmp_path)).run(configs)
+        engine = CampaignEngine(store=ResultStore(tmp_path))
+        refreshed = engine.run(configs, refresh=True)
+        assert engine.counters.get("campaign.cache_hits") == 0
+        assert engine.counters.get("campaign.simulated") == 3
+        assert engine.counters.get("campaign.refreshed") == 3
+        warm = CampaignEngine(store=ResultStore(tmp_path))
+        results = warm.run(configs)
+        assert warm.counters.get("campaign.simulated") == 0
+        assert [repr(result) for result in results] == [
+            repr(result) for result in refreshed]
 
     def test_corrupt_entry_is_rerun(self, tmp_path):
         """A torn cache entry reads as missing and is simulated again."""

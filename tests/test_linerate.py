@@ -87,6 +87,62 @@ class TestQueueSimulation:
         assert 0 <= result.mean_occupancy <= result.peak_occupancy <= 5
 
 
+class TestEdgeCases:
+    @pytest.mark.parametrize("call", [
+        lambda: sustainable_cycles_per_packet([]),
+        lambda: simulate_queue([], 10.0),
+        lambda: loss_curve([], [1.0]),
+    ])
+    def test_empty_service_list_rejected_everywhere(self, call):
+        """All three entry points refuse an empty service-time list."""
+        with pytest.raises(ValueError):
+            call()
+
+    def test_buffer_of_one_drops_second_waiter(self):
+        # Service 300, arrivals every 100: packet 0 serves, packet 1
+        # waits in the single slot, packet 2 finds it full and drops,
+        # packet 3 arrives as packet 0 completes and takes the slot.
+        result = simulate_queue([300.0] * 4, arrival_interval_cycles=100.0,
+                                buffer_packets=1)
+        assert result.dropped_packets == 1
+        assert result.served_packets == 3
+        assert result.peak_occupancy == 2  # 1 waiting + 1 in service
+        assert result.mean_occupancy == pytest.approx(4 / 4)
+
+    def test_all_drops_saturation(self):
+        # A service time far beyond the arrival horizon: packet 0 holds
+        # the server for the whole replay, packet 1 takes the single
+        # buffer slot, every later arrival is dropped.
+        result = simulate_queue([1e6] * 50, arrival_interval_cycles=1.0,
+                                buffer_packets=1)
+        assert result.dropped_packets == 48
+        assert result.served_packets == 2
+        assert result.loss_rate == pytest.approx(48 / 50)
+        assert result.goodput_fraction == pytest.approx(2 / 50)
+        assert result.peak_occupancy == 2
+
+    def test_loss_curve_monotone_in_arrival_rate(self):
+        # A structured service mix (periodic slow packets over a fast
+        # baseline): pushing the offered load up can only add drops.
+        services = [80.0 + (index % 5) * 40 for index in range(300)]
+        loads = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0]
+        curve = loss_curve(services, loads, buffer_packets=4)
+        assert [load for load, _ in curve] == loads
+        losses = [loss for _, loss in curve]
+        assert losses == sorted(losses)
+        assert losses[0] == 0.0
+        assert losses[-1] > 0.5
+        # The same monotonicity read directly off the queue replay, as
+        # the arrival interval shrinks through saturation.
+        saturation = sustainable_cycles_per_packet(services)
+        intervals = [2.0 * saturation, saturation, 0.5 * saturation,
+                     0.25 * saturation]
+        direct = [simulate_queue(services, interval,
+                                 buffer_packets=4).loss_rate
+                  for interval in intervals]
+        assert direct == sorted(direct)
+
+
 class TestEndToEnd:
     def test_overclocking_raises_sustainable_rate(self):
         nominal = run_experiment(ExperimentConfig(

@@ -1,0 +1,87 @@
+"""Benchmark: traffic scenario generation and line-rate replay throughput.
+
+Measures packets/second for the two halves of the scenario path --
+drawing packets from a seeded generator (``scenario_stream``) and
+replaying them through the finite-buffer queue (``simulate_scenario``) --
+and writes ``BENCH_traffic.json`` so the numbers join the perf
+trajectory that ``BENCH_throughput.json`` started.  The soft gates are
+deliberately loose (an order of magnitude under typical speed): they
+catch an accidental O(flow_count) regression in the lazy samplers, not
+machine noise.
+
+``REPRO_TRAFFIC_BENCH_PACKETS`` scales the packet budget (default
+20000: a couple of seconds total).
+"""
+
+import json
+import os
+import time
+
+from repro.system.linerate import simulate_scenario
+from repro.traffic import Scenario, scenario_stream
+
+#: Soft regression gates, packets/second.  Generation draws a few RNG
+#: samples per packet; simulation adds the queue replay on top.
+MIN_GENERATED_PPS = 10_000.0
+MIN_SIMULATED_PPS = 5_000.0
+
+#: The mixes benched: the steady heavy tail (1M lazy flows) and the
+#: ramping flash crowd (the CI smoke scenario).
+BENCH_SCENARIOS = ("heavy-tail", "flash-crowd")
+
+
+class TestTrafficThroughput:
+    def test_generation_and_replay_rates(self, once, artifact_dir):
+        packets = int(os.environ.get("REPRO_TRAFFIC_BENCH_PACKETS",
+                                     "20000"))
+
+        def measure():
+            per_scenario = {}
+            for name in BENCH_SCENARIOS:
+                scenario = Scenario(generator=name, packet_count=packets,
+                                    seed=7)
+                started = time.perf_counter()
+                generated = sum(1 for _ in scenario_stream(scenario))
+                generate_seconds = time.perf_counter() - started
+                started = time.perf_counter()
+                series = simulate_scenario(scenario, load=0.95,
+                                           buffer_packets=64)
+                simulate_seconds = time.perf_counter() - started
+                per_scenario[name] = {
+                    "generated": generated,
+                    "generate_seconds": generate_seconds,
+                    "simulate_seconds": simulate_seconds,
+                    "loss_rate": series.totals.loss_rate,
+                }
+            return per_scenario
+
+        per_scenario = once(measure)
+        report = {
+            "experiment": "traffic_scenario_throughput",
+            "packets": packets,
+            "seed": 7,
+            "generated_pps_gate": MIN_GENERATED_PPS,
+            "simulated_pps_gate": MIN_SIMULATED_PPS,
+            "per_scenario": {},
+        }
+        for name, timing in per_scenario.items():
+            generated_pps = timing["generated"] / timing["generate_seconds"]
+            # simulate_scenario takes two passes over the stream, so its
+            # rate is reported per *simulated* packet, generation included.
+            simulated_pps = timing["generated"] / timing["simulate_seconds"]
+            report["per_scenario"][name] = {
+                "generated_pps": round(generated_pps, 1),
+                "simulated_pps": round(simulated_pps, 1),
+                "loss_rate": round(timing["loss_rate"], 4),
+            }
+        text = json.dumps(report, indent=2)
+        print()
+        print(text)
+        (artifact_dir / "BENCH_traffic.json").write_text(text + "\n")
+        for name, rates in report["per_scenario"].items():
+            assert rates["generated_pps"] >= MIN_GENERATED_PPS, (
+                f"{name} generation regressed: {rates['generated_pps']} "
+                f"pps < {MIN_GENERATED_PPS}")
+            assert rates["simulated_pps"] >= MIN_SIMULATED_PPS, (
+                f"{name} replay regressed: {rates['simulated_pps']} "
+                f"pps < {MIN_SIMULATED_PPS}")

@@ -36,28 +36,33 @@ LAYER_DAG: "dict[str, frozenset[str]]" = {
     "mem": frozenset({"core", "cpu", "telemetry", "util"}),
     "apps": frozenset({"net", "mem", "cpu", "core", "util"}),
     "analysis": frozenset({"util"}),
+    # Traffic scenarios synthesise packet streams: packet formats below,
+    # telemetry for the traffic.* counters, nothing machine-shaped.
+    "traffic": frozenset({"net", "core", "telemetry", "util"}),
     "system": frozenset({"net", "mem", "cpu", "core", "apps",
-                         "telemetry", "util"}),
+                         "telemetry", "traffic", "util"}),
     "harness": frozenset({"net", "mem", "cpu", "core", "apps",
-                          "telemetry", "system", "analysis", "util"}),
+                          "telemetry", "traffic", "system", "analysis",
+                          "util"}),
     # The verification oracle treats the simulator as the system under
     # test: it drives the harness (and everything below it) but nothing
     # may import it except the package root and the facade.
     "oracle": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                         "system", "harness", "util"}),
+                         "traffic", "system", "harness", "util"}),
     # The public facade (repro/api.py) sits beside the package root: it
     # re-exports the supported surface and may therefore reach anything.
     "api": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                      "system", "harness", "analysis", "oracle", "util"}),
+                      "traffic", "system", "harness", "analysis", "oracle",
+                      "util"}),
     "repro": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                        "system", "harness", "analysis", "oracle", "util",
-                        "api"}),
+                        "traffic", "system", "harness", "analysis",
+                        "oracle", "util", "api"}),
 }
 
 #: Layers that may import :mod:`repro.telemetry` (the instrumented
 #: consumers); implied by LAYER_DAG but named for the error message.
-TELEMETRY_CONSUMERS = frozenset({"mem", "system", "harness", "oracle",
-                                 "telemetry", "api", "repro"})
+TELEMETRY_CONSUMERS = frozenset({"mem", "traffic", "system", "harness",
+                                 "oracle", "telemetry", "api", "repro"})
 
 
 def _imported_repro_modules(context: FileContext,

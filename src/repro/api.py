@@ -33,6 +33,14 @@ The surface covers four layers of use:
   reference sampler), :class:`GeometricFaultInjector` (the skip-sampling
   equivalent behind ``ExperimentConfig(injector="geometric")``), and
   :data:`INJECTOR_NAMES`;
+* **traffic scenarios** -- the seeded production-shaped load engine
+  behind ``python -m repro traffic`` and
+  ``ExperimentConfig(scenario=...)`` (see docs/TRAFFIC.md):
+  :class:`Scenario`, :data:`SCENARIO_NAMES`, :func:`scenario_stream` /
+  :class:`TimedPacket`, and the line-rate replay
+  (:func:`simulate_scenario` / :class:`ScenarioSeries` /
+  :class:`TrafficBucket`, :class:`ServiceModel`,
+  :func:`scenario_loss_curve`);
 * **verification** -- the oracle subsystem behind ``python -m repro
   check`` (see docs/VERIFICATION.md): :func:`run_check` /
   :class:`OracleReport`, the differential twins (:func:`run_differential`,
@@ -81,8 +89,21 @@ from repro.oracle.invariants import (
     check_invariants,
     register_invariant,
 )
+from repro.system.linerate import (
+    ScenarioSeries,
+    ServiceModel,
+    TrafficBucket,
+    scenario_loss_curve,
+    simulate_scenario,
+)
 from repro.system.multicore import MulticoreResult, run_multicore
 from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.traffic.generators import (
+    SCENARIO_NAMES,
+    TimedPacket,
+    scenario_stream,
+)
+from repro.traffic.scenario import Scenario
 
 __all__ = [
     "ALL_POLICIES",
@@ -105,10 +126,16 @@ __all__ = [
     "PLANES",
     "RecoveryPolicy",
     "ResultStore",
+    "SCENARIO_NAMES",
+    "Scenario",
+    "ScenarioSeries",
+    "ServiceModel",
     "SweepPoint",
     "THREE_STRIKE",
     "TWO_STRIKE",
+    "TimedPacket",
     "Tracer",
+    "TrafficBucket",
     "Violation",
     "canonical_json",
     "check_invariants",
@@ -127,5 +154,8 @@ __all__ = [
     "run_fuzz",
     "run_multicore",
     "save_results",
+    "scenario_loss_curve",
+    "scenario_stream",
+    "simulate_scenario",
     "sweep",
 ]

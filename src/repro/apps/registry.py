@@ -166,12 +166,18 @@ def workload_from_packets(
         factory = {"crc": CrcApp, "md5": Md5App}[name]
         return Workload(name, packets, lambda env: factory(env))
     prefixes = make_prefixes(prefix_count, seed)
+    # Scenario-driven tables run at realistic occupancy (thousands of
+    # prefixes / bindings), so the radix arena scales with the table
+    # instead of assuming the 64-prefix default fits.
+    max_nodes = max(4096, 4 * (prefix_count + 1))
     if name == "tl":
         return Workload("tl", packets,
-                        lambda env: TableLookupApp(env, prefixes))
+                        lambda env: TableLookupApp(env, prefixes,
+                                                   max_nodes=max_nodes))
     if name == "route":
         return Workload("route", packets,
-                        lambda env: RouteApp(env, prefixes))
+                        lambda env: RouteApp(env, prefixes,
+                                             max_nodes=max_nodes))
     if name == "drr":
         flow_count = max(packet.flow_id for packet in packets) + 1
         return Workload("drr", packets,
@@ -183,6 +189,7 @@ def workload_from_packets(
             capacity *= 2
         return Workload("nat", packets,
                         lambda env: NatApp(env, prefixes, sources,
+                                           max_nodes=max_nodes,
                                            table_capacity=capacity))
     if name == "url":
         patterns = _extract_http_patterns(packets)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import NO_DETECTION, RecoveryPolicy, policy_by_name
 from repro.mem.faults import INJECTOR_NAMES
+from repro.traffic.generators import SCENARIO_NAMES
 
 #: Where fault injection is active (paper Figures 6/7 study the planes
 #: separately).
@@ -31,6 +32,13 @@ class ExperimentConfig:
     the *faulty* run (the golden run is never traced).  Tracing is pure
     observation -- it does not participate in config equality and cannot
     perturb results.
+
+    ``scenario`` optionally names a ``repro.traffic`` generator; when
+    set, the workload's packets come from that scenario (at this
+    config's ``packet_count`` and ``seed``, with generator knobs taken
+    from ``workload_kwargs``) instead of the fixed per-app trace, and
+    the application tables are synthesised from the scenario's own
+    packets at realistic occupancy.
 
     ``injector`` selects the fault-sampling implementation (see
     :data:`repro.mem.faults.INJECTOR_NAMES`): ``"reference"`` draws one
@@ -60,6 +68,7 @@ class ExperimentConfig:
     burst_multiplier: float = 1.0
     l2_fill_fault_probability: float = 0.0
     injector: str = "reference"
+    scenario: "str | None" = None
     workload_kwargs: "dict[str, object]" = field(default_factory=dict)
     # Typed as object to keep this module telemetry-agnostic; any value
     # with the Tracer protocol (emit/finish/enabled) works.
@@ -98,6 +107,10 @@ class ExperimentConfig:
             raise ValueError(
                 f"injector must be one of {INJECTOR_NAMES}, "
                 f"got {self.injector!r}")
+        if self.scenario is not None and self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"scenario must be one of {SCENARIO_NAMES}, "
+                f"got {self.scenario!r}")
 
     @property
     def label(self) -> str:
@@ -108,6 +121,8 @@ class ExperimentConfig:
         label = f"{self.app}/{clock}/{self.policy.name}/{self.planes}"
         if self.injector != "reference":
             label += f"/{self.injector}"
+        if self.scenario is not None:
+            label += f"/{self.scenario}"
         return label
 
     def golden(self) -> "ExperimentConfig":
@@ -125,7 +140,7 @@ class ExperimentConfig:
         """
         return ExperimentConfig(
             app=self.app, packet_count=self.packet_count, seed=self.seed,
-            injector=self.injector,
+            injector=self.injector, scenario=self.scenario,
             workload_kwargs=dict(self.workload_kwargs))
 
     def to_json(self) -> "dict[str, object]":
@@ -168,6 +183,7 @@ class ExperimentConfig:
             "burst_multiplier": self.burst_multiplier,
             "l2_fill_fault_probability": self.l2_fill_fault_probability,
             "injector": self.injector,
+            "scenario": self.scenario,
             "workload_kwargs": dict(self.workload_kwargs),
         }
 
@@ -192,7 +208,7 @@ class ExperimentConfig:
             "quarter_cycle_multiplier", "memory_size", "l1_size_bytes",
             "l1_associativity", "burst_start_probability", "burst_length",
             "burst_multiplier", "l2_fill_fault_probability",
-            "injector", "workload_kwargs"}
+            "injector", "scenario", "workload_kwargs"}
         unknown = sorted(set(payload) - field_names)
         if unknown:
             raise ValueError(

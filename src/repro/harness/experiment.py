@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.base import Environment, FATAL_CATEGORY, NetBenchApp
-from repro.apps.registry import Workload, make_workload
+from repro.apps.registry import Workload, make_workload, workload_from_packets
 from repro.core.dynamic import DynamicFrequencyController
 from repro.core.fault_model import FaultModel
 from repro.core.metrics import (
@@ -41,6 +41,8 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.view import MemView
 from repro.telemetry.events import FatalError, PacketDone
 from repro.telemetry.tracer import NULL_TRACER
+from repro.traffic.generators import scenario_stream
+from repro.traffic.scenario import Scenario
 
 #: Simulated address where application allocations begin (0 stays an
 #: invalid "null pointer").
@@ -337,7 +339,7 @@ def clear_golden_cache() -> None:
 def golden_observations(workload: Workload, config: ExperimentConfig,
                         ) -> "list[dict[str, object]]":
     """Fetch (and cache) the workload's golden observations."""
-    key = (config.app, config.packet_count, config.seed,
+    key = (config.app, config.packet_count, config.seed, config.scenario,
            tuple(sorted(config.workload_kwargs.items())))
     cached = _GOLDEN_CACHE.get(key)
     if cached is not None:
@@ -351,7 +353,25 @@ def golden_observations(workload: Workload, config: ExperimentConfig,
 
 
 def load_workload(config: ExperimentConfig) -> Workload:
-    """Build the deterministic workload a config describes."""
+    """Build the deterministic workload a config describes.
+
+    With ``config.scenario`` set, the packets come from the named
+    ``repro.traffic`` generator (budget and seed from the config,
+    generator knobs from ``workload_kwargs``) and the application tables
+    are synthesised from those packets via
+    :func:`~repro.apps.registry.workload_from_packets` -- realistic
+    occupancy instead of the fixed per-app trace.  ``prefix_count`` in
+    ``workload_kwargs`` sizes the synthesised routing table (generators
+    ignore it).
+    """
+    if config.scenario is not None:
+        scenario = Scenario(
+            generator=config.scenario, packet_count=config.packet_count,
+            seed=config.seed, params=dict(config.workload_kwargs))
+        packets = [timed.packet for timed in scenario_stream(scenario)]
+        prefix_count = int(config.workload_kwargs.get("prefix_count", 64))
+        return workload_from_packets(config.app, packets, config.seed,
+                                     prefix_count=prefix_count)
     return make_workload(config.app, config.packet_count, config.seed,
                          **config.workload_kwargs)
 

@@ -43,7 +43,9 @@ from repro.harness.experiment import ExperimentResult
 #: config (fault model calibration, cache geometry defaults, energy
 #: accounting, ...).  Old entries then miss and re-simulate.
 #: v2: the config JSON schema gained the ``injector`` field.
-CODE_VERSION = "clumsy-repro-v2"
+#: v3: the config JSON schema gained the ``scenario`` field
+#: (traffic-scenario workloads).
+CODE_VERSION = "clumsy-repro-v3"
 
 #: Hex digits of the chunk-key digest used in chunk file names.
 _CHUNK_DIGEST_LENGTH = 12

@@ -73,7 +73,14 @@ def address_in_prefix(prefix: RoutePrefix, rng: random.Random) -> int:
     return prefix.network | rng.getrandbits(host_bits)
 
 
-def _zipf_weights(count: int, skew: float) -> "list[float]":
+def zipf_weights(count: int, skew: float) -> "list[float]":
+    """Unnormalised Zipf popularity weights for ``count`` ranks.
+
+    The materialised form of the Zipf law -- fine for the dozens of
+    prefixes the fixed traces use.  For flow populations too large to
+    tabulate, :func:`repro.traffic.flows.zipf_rank` draws from the same
+    law in O(1) without building this list.
+    """
     return [1.0 / (rank + 1) ** skew for rank in range(count)]
 
 
@@ -93,7 +100,7 @@ def routed_trace(
     if count < 1:
         raise ValueError("need at least one packet")
     rng = random.Random(seed ^ 0x5EED)
-    weights = _zipf_weights(len(prefixes), skew)
+    weights = zipf_weights(len(prefixes), skew)
     chosen = rng.choices(prefixes, weights=weights, k=count)
     packets = []
     for index, prefix in enumerate(chosen):
@@ -137,14 +144,14 @@ def flow_trace(
     if flow_count < 1 or count < 1:
         raise ValueError("need positive flow and packet counts")
     rng = random.Random(seed ^ 0xF10D)
-    weights = _zipf_weights(len(prefixes), 1.0)
+    weights = zipf_weights(len(prefixes), 1.0)
     flows = []
     for flow_id in range(flow_count):
         prefix = rng.choices(prefixes, weights=weights, k=1)[0]
         flows.append((flow_id,
                       0x0A000000 | rng.getrandbits(16),  # private 10/8 source
                       address_in_prefix(prefix, rng)))
-    flow_weights = _zipf_weights(flow_count, 1.0)
+    flow_weights = zipf_weights(flow_count, 1.0)
     packets = []
     for index in range(count):
         flow_id, source, destination = rng.choices(
@@ -179,7 +186,7 @@ def http_trace(
     rng = random.Random(seed ^ 0x44757)
     if paths is None:
         paths = make_http_paths(path_count, seed)
-    weights = _zipf_weights(len(paths), 1.0)
+    weights = zipf_weights(len(paths), 1.0)
     packets = []
     for index in range(count):
         path = rng.choices(paths, weights=weights, k=1)[0]

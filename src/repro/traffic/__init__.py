@@ -1,0 +1,62 @@
+"""repro.traffic -- seeded, production-shaped traffic scenario engine.
+
+The subsystem the campaign-scale experiments run on: a
+:class:`Scenario` value (generator name + packet budget + seed + knobs,
+JSON round-trippable) resolves through a registry of named generators --
+heavy-tailed flow mixes over millions of lazy flows, bursty on/off
+arrivals, flash-crowd ramps, and adversarial concentration/exhaustion
+patterns -- into a lazy stream of timestamped ``net.Packet`` records.
+``system.linerate.simulate_scenario`` replays such a stream through the
+finite-buffer queue model; the harness threads scenarios through
+``ExperimentConfig`` and ``python -m repro traffic``.
+"""
+
+from repro.traffic.arrivals import (
+    constant_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+    ramp_arrivals,
+    ramp_progress,
+)
+from repro.traffic.flows import (
+    flow_endpoints,
+    mix64,
+    pareto_size,
+    zipf_bucket_mass,
+    zipf_harmonic,
+    zipf_rank,
+)
+from repro.traffic.generators import (
+    SCENARIO_GENERATORS,
+    SCENARIO_NAMES,
+    SHARED_PARAMS,
+    GeneratorSpec,
+    TimedPacket,
+    register_generator,
+    scenario_names,
+    scenario_stream,
+)
+from repro.traffic.scenario import Scenario
+
+__all__ = [
+    "GeneratorSpec",
+    "SCENARIO_GENERATORS",
+    "SCENARIO_NAMES",
+    "SHARED_PARAMS",
+    "Scenario",
+    "TimedPacket",
+    "constant_arrivals",
+    "flow_endpoints",
+    "mix64",
+    "onoff_arrivals",
+    "pareto_size",
+    "poisson_arrivals",
+    "ramp_arrivals",
+    "ramp_progress",
+    "register_generator",
+    "scenario_names",
+    "scenario_stream",
+    "zipf_bucket_mass",
+    "zipf_harmonic",
+    "zipf_rank",
+]

@@ -1,0 +1,98 @@
+"""Arrival processes: lazy timestamp streams in dimensionless time.
+
+Each process yields ``count`` non-decreasing arrival times whose
+*long-run mean rate is 1 packet per time unit* -- the load knob lives in
+:func:`repro.system.linerate.simulate_scenario`, which rescales time
+units into cycles against the measured service demand.  Keeping the
+processes dimensionless means the same burst structure can be replayed
+at any offered load.
+
+All processes are generators (lazy, O(1) state) and deterministic given
+the caller's seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def constant_arrivals(count: int) -> "Iterator[float]":
+    """Deterministic arrivals: packet ``i`` at time ``i`` (a paced line)."""
+    for index in range(count):
+        yield float(index)
+
+
+def poisson_arrivals(count: int, rng: random.Random) -> "Iterator[float]":
+    """Memoryless arrivals at unit rate (aggregated-core traffic)."""
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(1.0)
+        yield now
+
+
+def onoff_arrivals(count: int, rng: random.Random,
+                   on_mean: float = 50.0, off_mean: float = 50.0,
+                   burst_rate: "float | None" = None) -> "Iterator[float]":
+    """Two-state MMPP (on/off) arrivals: bursts separated by silences.
+
+    ON and OFF dwell times are exponential with the given means; packets
+    arrive only while ON, as a Poisson stream at ``burst_rate``.  The
+    default burst rate is the duty-cycle inverse, which keeps the
+    long-run mean rate at 1 -- bursts run *above* the line while
+    silences run at zero, the arrival structure that stresses finite
+    buffers at loads a constant stream would sail through.
+    """
+    if on_mean <= 0.0 or off_mean < 0.0:
+        raise ValueError("dwell-time means must be positive (off >= 0)")
+    if burst_rate is None:
+        burst_rate = (on_mean + off_mean) / on_mean
+    if burst_rate <= 0.0:
+        raise ValueError("burst rate must be positive")
+    now = 0.0
+    emitted = 0
+    while emitted < count:
+        deadline = now + rng.expovariate(1.0 / on_mean)
+        while emitted < count:
+            gap = rng.expovariate(burst_rate)
+            if now + gap > deadline:
+                break
+            now += gap
+            yield now
+            emitted += 1
+        now = deadline
+        if off_mean > 0.0:
+            now += rng.expovariate(1.0 / off_mean)
+
+
+def ramp_arrivals(count: int, rng: random.Random,
+                  start_rate: float = 0.25, peak_rate: float = 4.0,
+                  ramp_fraction: float = 0.5) -> "Iterator[float]":
+    """Flash-crowd arrivals: rate ramps from start to peak, then holds.
+
+    The instantaneous rate climbs linearly over the first
+    ``ramp_fraction`` of the packet budget and stays at ``peak_rate``
+    for the rest -- the onset profile of a crowd event.  Gaps are
+    exponential at the instantaneous rate.
+    """
+    if start_rate <= 0.0 or peak_rate <= 0.0:
+        raise ValueError("rates must be positive")
+    if not 0.0 < ramp_fraction <= 1.0:
+        raise ValueError("ramp fraction must be in (0, 1]")
+    ramp_packets = max(1, int(count * ramp_fraction))
+    now = 0.0
+    for index in range(count):
+        progress = min(1.0, index / ramp_packets)
+        rate = start_rate + (peak_rate - start_rate) * progress
+        now += rng.expovariate(rate)
+        yield now
+
+
+def ramp_progress(index: int, count: int, ramp_fraction: float) -> float:
+    """Where packet ``index`` sits on the ramp, in ``[0, 1]``.
+
+    Shared by :func:`ramp_arrivals` and the flash-crowd generator's
+    hot-destination concentration, so rate and focus climb together.
+    """
+    ramp_packets = max(1, int(count * ramp_fraction))
+    return min(1.0, index / ramp_packets)

@@ -1,0 +1,114 @@
+"""Lazy heavy-tailed flow machinery: O(1) draws over millions of flows.
+
+Internet flow populations are heavy-tailed -- a few elephant flows carry
+most of the bytes while millions of mice appear once -- and a scenario
+engine that materialises a weight table per flow (the
+:func:`repro.net.trace.zipf_weights` approach, fine for 64 prefixes)
+cannot scale to realistic populations.  This module provides the
+streaming equivalents:
+
+* :func:`zipf_rank` draws a Zipf-distributed flow rank by inverse
+  transform over the *continuous* generalized harmonic
+  ``H(x) = integral(t^-s, 1, x)`` -- one draw is O(1) in the flow count
+  and nothing of size ``flow_count`` is ever allocated;
+* :func:`zipf_bucket_mass` gives the analytic probability mass of a rank
+  interval under the same law, so goodness-of-fit tests can compare
+  observed counts against exact expectations;
+* :func:`pareto_size` draws bounded-Pareto payload sizes (flow-size
+  heavy tails);
+* :func:`flow_endpoints` derives a flow's (source, destination) address
+  pair from its id by integer mixing -- per-flow state without a
+  per-flow table.
+
+Every function is a pure function of its inputs; determinism comes from
+the caller's seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MASK64 = (1 << 64) - 1
+
+
+def zipf_harmonic(x: float, skew: float) -> float:
+    """Continuous generalized harmonic ``H(x) = integral(t^-skew, 1, x)``."""
+    if x < 1.0:
+        raise ValueError("harmonic argument must be >= 1")
+    if skew == 1.0:
+        return math.log(x)
+    return (x ** (1.0 - skew) - 1.0) / (1.0 - skew)
+
+
+def zipf_rank(u: float, flow_count: int, skew: float = 1.1) -> int:
+    """Inverse-transform Zipf rank in ``[0, flow_count)`` from ``u``.
+
+    Inverts the continuous harmonic CDF over ``[1, flow_count + 1)`` and
+    floors -- the continuous relaxation of the discrete Zipf law, exact
+    in shape and O(1) per draw regardless of ``flow_count``.  Rank 0 is
+    the most popular flow.
+    """
+    if flow_count < 1:
+        raise ValueError("need at least one flow")
+    if not 0.0 <= u < 1.0:
+        raise ValueError("u must be in [0, 1)")
+    if skew <= 0.0:
+        raise ValueError("skew must be positive")
+    target = u * zipf_harmonic(flow_count + 1.0, skew)
+    if skew == 1.0:
+        x = math.exp(target)
+    else:
+        x = (1.0 + (1.0 - skew) * target) ** (1.0 / (1.0 - skew))
+    return min(max(int(x) - 1, 0), flow_count - 1)
+
+
+def zipf_bucket_mass(low: int, high: int, flow_count: int,
+                     skew: float = 1.1) -> float:
+    """Probability that :func:`zipf_rank` lands in ``[low, high)``.
+
+    Analytic companion of :func:`zipf_rank` (same continuous law), used
+    as the expected-count source for chi-square goodness-of-fit tests.
+    """
+    if not 0 <= low < high <= flow_count:
+        raise ValueError("need 0 <= low < high <= flow_count")
+    total = zipf_harmonic(flow_count + 1.0, skew)
+    return (zipf_harmonic(high + 1.0, skew)
+            - zipf_harmonic(low + 1.0, skew)) / total
+
+
+def pareto_size(u: float, alpha: float = 1.3, minimum: int = 40,
+                maximum: int = 1500) -> int:
+    """Bounded-Pareto size draw (bytes) from ``u``.
+
+    ``minimum / u^(1/alpha)`` capped at ``maximum`` -- the classic
+    heavy-tailed packet/flow size law with a wire-MTU ceiling.
+    """
+    if not 0 < minimum <= maximum:
+        raise ValueError("need 0 < minimum <= maximum")
+    if alpha <= 0.0:
+        raise ValueError("alpha must be positive")
+    if u <= 0.0:
+        return maximum
+    return int(min(minimum / (u ** (1.0 / alpha)), float(maximum)))
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finaliser: a well-mixed 64-bit hash of an integer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def flow_endpoints(flow_id: int, seed: int) -> "tuple[int, int]":
+    """The deterministic (source, destination) pair of one flow.
+
+    Sources live in the private 10.0.0.0/8 block (the NAT application
+    translates them); destinations span the full address space.  Derived
+    by integer mixing, so a million-flow population needs no per-flow
+    table -- the property that keeps scenario generation memory-flat.
+    """
+    mixed = mix64((flow_id << 1) ^ mix64(seed))
+    source = 0x0A000000 | (mixed & 0x00FFFFFF)
+    destination = (mixed >> 24) & 0xFFFFFFFF
+    return source, destination

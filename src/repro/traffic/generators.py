@@ -1,0 +1,326 @@
+"""The scenario-generator registry: named production-shaped traffic mixes.
+
+Each generator is registered under a stable name (the
+``Scenario.generator`` field, the ``python -m repro traffic`` argument,
+and the ``ExperimentConfig.scenario`` value) and turns a
+:class:`~repro.traffic.scenario.Scenario` into a *lazy* stream of
+:class:`TimedPacket` records -- ``net.Packet`` plus an arrival time in
+the dimensionless units of :mod:`repro.traffic.arrivals`.  Laziness is
+load-bearing: the heavy-tailed mixes draw from millions of distinct
+flows through the O(1) samplers of :mod:`repro.traffic.flows`, and no
+structure proportional to the flow count (or the packet count) is ever
+materialised.
+
+The catalogue (see docs/TRAFFIC.md for the full parameter schema):
+
+* ``uniform`` -- Poisson arrivals, uniform endpoints; the neutral
+  baseline.
+* ``heavy-tail`` -- Zipf flow popularity over a large flow population
+  with bounded-Pareto payload sizes; steady-state backbone traffic.
+* ``bursty`` -- the heavy-tail mix under on/off MMPP arrivals; bursts
+  run above the line, silences at zero.
+* ``flash-crowd`` -- arrival rate ramps to a peak while destinations
+  concentrate onto a hot set; the "suddenly popular" event.
+* ``hot-flow`` -- adversarial concentration: a handful of flows carry
+  most packets at a sustained paced rate (the drop-attack shape of the
+  NoC packet-drop-attack literature).
+* ``nat-exhaustion`` -- almost every packet opens a fresh private
+  source; translation and route tables fill to realistic occupancy.
+* ``tiny-flood`` -- minimum-length packets in dense bursts; per-packet
+  overhead dominates and drop accounting is stressed hardest.
+
+Generators are deterministic given the scenario seed; every stream is
+regenerable, which is how the line-rate simulator takes a calibration
+pass without buffering packets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator
+
+from repro.net.packet import Packet
+from repro.traffic.arrivals import (
+    constant_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+    ramp_arrivals,
+    ramp_progress,
+)
+from repro.traffic.flows import flow_endpoints, pareto_size, zipf_rank
+from repro.traffic.scenario import Scenario
+
+#: Parameters every scenario accepts but the *workload* side consumes
+#: (table sizing for the route/NAT applications); generators ignore them.
+SHARED_PARAMS = frozenset({"prefix_count"})
+
+
+@dataclass(frozen=True)
+class TimedPacket:
+    """One generated packet plus its arrival time (dimensionless units)."""
+
+    time: float
+    packet: Packet
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """One registered generator: name, parameter defaults, factory."""
+
+    name: str
+    short: str
+    defaults: "dict[str, object]"
+    build: "Callable[[Scenario, dict, random.Random], Iterator[TimedPacket]]"
+
+
+#: Registry of scenario generators, keyed by name, in registration order.
+SCENARIO_GENERATORS: "Dict[str, GeneratorSpec]" = {}
+
+
+def register_generator(name: str, short: str,
+                       defaults: "dict[str, object]"):
+    """Decorator registering a generator function under ``name``."""
+    def wrap(build):
+        if name in SCENARIO_GENERATORS:
+            raise ValueError(f"duplicate scenario generator {name!r}")
+        SCENARIO_GENERATORS[name] = GeneratorSpec(
+            name=name, short=short, defaults=dict(defaults), build=build)
+        return build
+    return wrap
+
+
+def scenario_names() -> "tuple[str, ...]":
+    """Registered generator names, sorted (the CLI/choices surface)."""
+    return tuple(sorted(SCENARIO_GENERATORS))
+
+
+def _resolve(scenario: Scenario) -> "tuple[GeneratorSpec, dict]":
+    """The generator spec plus merged parameters for one scenario."""
+    spec = SCENARIO_GENERATORS.get(scenario.generator)
+    if spec is None:
+        raise ValueError(
+            f"unknown scenario generator {scenario.generator!r}; "
+            f"registered: {', '.join(scenario_names())}")
+    unknown = sorted(set(scenario.params) - set(spec.defaults)
+                     - SHARED_PARAMS)
+    if unknown:
+        raise ValueError(
+            f"unknown param(s) {unknown} for scenario "
+            f"{scenario.generator!r}; accepted: "
+            f"{sorted(spec.defaults) + sorted(SHARED_PARAMS)}")
+    merged = dict(spec.defaults)
+    merged.update({name: value for name, value in scenario.params.items()
+                   if name in spec.defaults})
+    return spec, merged
+
+
+def scenario_stream(scenario: Scenario,
+                    counters: "object | None" = None,
+                    ) -> "Iterator[TimedPacket]":
+    """The lazy, seeded packet stream one scenario describes.
+
+    Validates the generator name and parameters eagerly (so a bad
+    scenario fails before any packet is drawn), then yields
+    :class:`TimedPacket` records one at a time.  ``counters`` (a
+    telemetry ``CounterSet``) receives ``traffic.streams``,
+    ``traffic.packets`` and ``traffic.bytes``.  The stream is a pure
+    function of the scenario: re-invoking with an equal scenario
+    replays the identical sequence.
+    """
+    spec, params = _resolve(scenario)
+    rng = random.Random(f"{scenario.generator}:{scenario.seed}")
+    if counters is not None:
+        counters.bump("traffic.streams")
+
+    def stream() -> "Iterator[TimedPacket]":
+        for timed in spec.build(scenario, params, rng):
+            if counters is not None:
+                counters.bump("traffic.packets")
+                counters.bump("traffic.bytes", timed.packet.length)
+            yield timed
+    return stream()
+
+
+def _ttl(rng: random.Random) -> int:
+    """A plausible arriving TTL (initial 64/128/255 minus a few hops)."""
+    return max(2, rng.choice((64, 128, 255)) - rng.randrange(0, 30))
+
+
+# ---------------------------------------------------------------------------
+# The catalogue
+# ---------------------------------------------------------------------------
+
+@register_generator(
+    "uniform",
+    "Poisson arrivals, uniform endpoints (neutral baseline)",
+    {"payload_bytes": 64})
+def _uniform(scenario: Scenario, params: "dict", rng: random.Random,
+             ) -> "Iterator[TimedPacket]":
+    payload_bytes = int(params["payload_bytes"])
+    arrivals = poisson_arrivals(scenario.packet_count, rng)
+    for index, time in enumerate(arrivals):
+        yield TimedPacket(time, Packet(
+            source=rng.getrandbits(32), destination=rng.getrandbits(32),
+            payload=rng.randbytes(payload_bytes), ttl=_ttl(rng),
+            identification=index & 0xFFFF))
+
+
+def _heavy_tail_packet(index: int, rng: random.Random, seed: int,
+                       flow_count: int, skew: float, size_alpha: float,
+                       min_payload: int, max_payload: int) -> Packet:
+    """One packet of the shared heavy-tailed flow mix."""
+    rank = zipf_rank(rng.random(), flow_count, skew)
+    source, destination = flow_endpoints(rank, seed)
+    size = pareto_size(rng.random(), size_alpha, min_payload, max_payload)
+    return Packet(source=source, destination=destination,
+                  payload=rng.randbytes(size), ttl=_ttl(rng),
+                  flow_id=rank, identification=index & 0xFFFF)
+
+
+@register_generator(
+    "heavy-tail",
+    "Zipf flows (millions), Pareto sizes, Poisson arrivals",
+    {"flow_count": 1_000_000, "skew": 1.1, "size_alpha": 1.3,
+     "min_payload": 40, "max_payload": 1500})
+def _heavy_tail(scenario: Scenario, params: "dict", rng: random.Random,
+                ) -> "Iterator[TimedPacket]":
+    arrivals = poisson_arrivals(scenario.packet_count, rng)
+    for index, time in enumerate(arrivals):
+        yield TimedPacket(time, _heavy_tail_packet(
+            index, rng, scenario.seed, int(params["flow_count"]),
+            float(params["skew"]), float(params["size_alpha"]),
+            int(params["min_payload"]), int(params["max_payload"])))
+
+
+@register_generator(
+    "bursty",
+    "heavy-tail flows under on/off MMPP arrivals",
+    {"flow_count": 100_000, "skew": 1.1, "size_alpha": 1.3,
+     "min_payload": 40, "max_payload": 1500,
+     "on_mean": 40.0, "off_mean": 60.0})
+def _bursty(scenario: Scenario, params: "dict", rng: random.Random,
+            ) -> "Iterator[TimedPacket]":
+    arrivals = onoff_arrivals(scenario.packet_count, rng,
+                              on_mean=float(params["on_mean"]),
+                              off_mean=float(params["off_mean"]))
+    for index, time in enumerate(arrivals):
+        yield TimedPacket(time, _heavy_tail_packet(
+            index, rng, scenario.seed, int(params["flow_count"]),
+            float(params["skew"]), float(params["size_alpha"]),
+            int(params["min_payload"]), int(params["max_payload"])))
+
+
+@register_generator(
+    "flash-crowd",
+    "arrival rate ramps to a peak while destinations concentrate",
+    {"flow_count": 1_000_000, "skew": 1.1,
+     "hot_destinations": 8, "hot_fraction": 0.9,
+     "start_rate": 0.25, "peak_rate": 4.0, "ramp_fraction": 0.5,
+     "min_payload": 40, "max_payload": 600})
+def _flash_crowd(scenario: Scenario, params: "dict", rng: random.Random,
+                 ) -> "Iterator[TimedPacket]":
+    count = scenario.packet_count
+    flow_count = int(params["flow_count"])
+    hot_count = int(params["hot_destinations"])
+    hot_fraction = float(params["hot_fraction"])
+    ramp_fraction = float(params["ramp_fraction"])
+    if not 1 <= hot_count:
+        raise ValueError("need at least one hot destination")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot fraction must be in [0, 1]")
+    # The hot set is a fixed, seed-derived destination pool (the
+    # suddenly-popular servers); the crowd itself is many distinct
+    # sources, so the source side exercises tables like real users.
+    hot = [flow_endpoints(flow_count + rank, scenario.seed)[1]
+           for rank in range(hot_count)]
+    arrivals = ramp_arrivals(count, rng,
+                             start_rate=float(params["start_rate"]),
+                             peak_rate=float(params["peak_rate"]),
+                             ramp_fraction=ramp_fraction)
+    for index, time in enumerate(arrivals):
+        rank = zipf_rank(rng.random(), flow_count, float(params["skew"]))
+        source, destination = flow_endpoints(rank, scenario.seed)
+        focus = hot_fraction * ramp_progress(index, count, ramp_fraction)
+        if rng.random() < focus:
+            destination = hot[rng.randrange(hot_count)]
+        size = pareto_size(rng.random(), 1.3, int(params["min_payload"]),
+                           int(params["max_payload"]))
+        yield TimedPacket(time, Packet(
+            source=source, destination=destination,
+            payload=rng.randbytes(size), ttl=_ttl(rng), flow_id=rank,
+            identification=index & 0xFFFF))
+
+
+@register_generator(
+    "hot-flow",
+    "adversarial concentration: few flows carry most packets, paced line",
+    {"flow_count": 10_000, "hot_flows": 4, "hot_share": 0.85,
+     "skew": 1.1, "payload_bytes": 60})
+def _hot_flow(scenario: Scenario, params: "dict", rng: random.Random,
+              ) -> "Iterator[TimedPacket]":
+    flow_count = int(params["flow_count"])
+    hot_flows = int(params["hot_flows"])
+    hot_share = float(params["hot_share"])
+    if not 1 <= hot_flows <= flow_count:
+        raise ValueError("hot flows must be in [1, flow_count]")
+    if not 0.0 <= hot_share <= 1.0:
+        raise ValueError("hot share must be in [0, 1]")
+    payload_bytes = int(params["payload_bytes"])
+    for index, time in enumerate(constant_arrivals(scenario.packet_count)):
+        if rng.random() < hot_share:
+            rank = rng.randrange(hot_flows)
+        else:
+            rank = zipf_rank(rng.random(), flow_count, float(params["skew"]))
+        source, destination = flow_endpoints(rank, scenario.seed)
+        yield TimedPacket(time, Packet(
+            source=source, destination=destination,
+            payload=rng.randbytes(payload_bytes), ttl=_ttl(rng),
+            flow_id=rank, identification=index & 0xFFFF))
+
+
+@register_generator(
+    "nat-exhaustion",
+    "almost every packet opens a fresh private source (table exhaustion)",
+    {"reuse_fraction": 0.05, "payload_bytes": 8})
+def _nat_exhaustion(scenario: Scenario, params: "dict", rng: random.Random,
+                    ) -> "Iterator[TimedPacket]":
+    reuse_fraction = float(params["reuse_fraction"])
+    if not 0.0 <= reuse_fraction <= 1.0:
+        raise ValueError("reuse fraction must be in [0, 1]")
+    payload_bytes = int(params["payload_bytes"])
+    opened = 0
+    for index, time in enumerate(poisson_arrivals(scenario.packet_count,
+                                                  rng)):
+        if opened and rng.random() < reuse_fraction:
+            flow_id = rng.randrange(opened)
+        else:
+            flow_id = opened
+            opened += 1
+        source, destination = flow_endpoints(flow_id, scenario.seed)
+        yield TimedPacket(time, Packet(
+            source=source, destination=destination,
+            payload=rng.randbytes(payload_bytes), ttl=_ttl(rng),
+            flow_id=flow_id, identification=index & 0xFFFF))
+
+
+@register_generator(
+    "tiny-flood",
+    "minimum-length packets in dense bursts (per-packet overhead attack)",
+    {"on_mean": 20.0, "off_mean": 80.0, "payload_bytes": 0})
+def _tiny_flood(scenario: Scenario, params: "dict", rng: random.Random,
+                ) -> "Iterator[TimedPacket]":
+    payload_bytes = int(params["payload_bytes"])
+    arrivals = onoff_arrivals(scenario.packet_count, rng,
+                              on_mean=float(params["on_mean"]),
+                              off_mean=float(params["off_mean"]))
+    for index, time in enumerate(arrivals):
+        yield TimedPacket(time, Packet(
+            source=rng.getrandbits(32), destination=rng.getrandbits(32),
+            payload=rng.randbytes(payload_bytes), ttl=_ttl(rng),
+            identification=index & 0xFFFF))
+
+
+#: The registered scenario names, frozen after the catalogue above
+#: (consumed by ``ExperimentConfig`` validation and the CLI choices).
+SCENARIO_NAMES = scenario_names()

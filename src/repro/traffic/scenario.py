@@ -1,0 +1,83 @@
+"""Seeded, JSON round-trippable traffic scenario descriptions.
+
+A :class:`Scenario` names one generator from the registry
+(:mod:`repro.traffic.generators`), a packet budget, a seed, and a
+generator-specific parameter mapping.  Like
+:class:`~repro.harness.config.ExperimentConfig`, a scenario is a pure
+value: two equal scenarios always produce byte-identical packet streams,
+and ``to_json``/``from_json`` round-trip losslessly (unknown keys are
+rejected so stale payloads fail loudly).
+
+The generator *name* is validated lazily, when a stream is built --
+scenario.py sits below the registry so the generators can type against
+it without an import cycle.  Parameter names and values are validated
+here: params must be a flat mapping of JSON-safe scalars, because they
+participate in content addressing through
+``ExperimentConfig.workload_kwargs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Parameter value types that survive the JSON round-trip unchanged.
+_SCALAR_TYPES = (bool, int, float, str)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible traffic mix: generator + budget + seed + knobs."""
+
+    generator: str
+    packet_count: int = 10_000
+    seed: int = 0
+    params: "dict[str, object]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.generator or not isinstance(self.generator, str):
+            raise ValueError("scenario needs a generator name")
+        if self.packet_count < 0:
+            raise ValueError("packet count must be non-negative")
+        for name, value in self.params.items():
+            if not isinstance(name, str):
+                raise ValueError(f"param names must be strings: {name!r}")
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ValueError(
+                    f"param {name!r} must be a JSON-safe scalar, "
+                    f"got {type(value).__name__}")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for reports."""
+        return f"{self.generator}/n={self.packet_count}/seed={self.seed}"
+
+    def to_json(self) -> "dict[str, object]":
+        """Canonical JSON-safe representation (lossless, stable)."""
+        return {
+            "generator": self.generator,
+            "packet_count": self.packet_count,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json` output.
+
+        Unknown keys are rejected so an entry written by an incompatible
+        schema fails loudly instead of silently dropping a knob.
+        """
+        payload = dict(data)
+        field_names = {"generator", "packet_count", "seed", "params"}
+        unknown = sorted(set(payload) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown Scenario field(s) {unknown}; the payload was "
+                f"written by an incompatible schema")
+        if "generator" not in payload:
+            raise ValueError("scenario payload needs a generator name")
+        kwargs = {name: payload[name] for name in field_names
+                  if name in payload}
+        if "params" in kwargs:
+            kwargs["params"] = dict(kwargs["params"])
+        return cls(**kwargs)

@@ -88,6 +88,22 @@ class TestQueueSimulation:
 
 
 class TestEdgeCases:
+    def test_zero_offered_result_is_well_defined(self):
+        # Zero-packet scenarios reach QueueResult directly (the scenario
+        # path returns this shape); the ratios must not divide by zero.
+        result = QueueResult(offered_packets=0, served_packets=0,
+                             dropped_packets=0, peak_occupancy=0,
+                             mean_occupancy=0.0)
+        assert result.loss_rate == 0.0
+        assert result.goodput_fraction == 1.0
+
+    def test_nonzero_offered_ratios_unchanged(self):
+        result = QueueResult(offered_packets=10, served_packets=7,
+                             dropped_packets=3, peak_occupancy=4,
+                             mean_occupancy=1.5)
+        assert result.loss_rate == pytest.approx(0.3)
+        assert result.goodput_fraction == pytest.approx(0.7)
+
     @pytest.mark.parametrize("call", [
         lambda: sustainable_cycles_per_packet([]),
         lambda: simulate_queue([], 10.0),

@@ -1,0 +1,400 @@
+"""Tests for the traffic scenario engine and its linerate/harness wiring.
+
+Four properties carry the subsystem (ISSUE 6): streams are pure
+functions of their scenario (seed determinism), scenarios survive the
+JSON round-trip, generation is lazy with memory independent of the flow
+population, and each generator's output actually has the distribution
+its name promises (checked with the scipy-free KS/chi-square helpers of
+``harness.stats``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import load_workload, run_experiment
+from repro.harness.stats import (
+    chi_square_critical,
+    chi_square_statistic,
+    ks_two_sample_critical,
+    ks_two_sample_statistic,
+)
+from repro.harness.store import config_key
+from repro.system.linerate import ServiceModel, simulate_scenario
+from repro.telemetry.metrics import CounterSet
+from repro.traffic import (
+    SCENARIO_GENERATORS,
+    SCENARIO_NAMES,
+    Scenario,
+    TimedPacket,
+    flow_endpoints,
+    pareto_size,
+    poisson_arrivals,
+    scenario_stream,
+    zipf_bucket_mass,
+    zipf_rank,
+)
+from tests.strategies import scenarios
+
+
+class TestScenarioValue:
+    def test_rejects_empty_generator(self):
+        with pytest.raises(ValueError):
+            Scenario(generator="")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            Scenario(generator="uniform", packet_count=-1)
+
+    def test_rejects_non_scalar_params(self):
+        with pytest.raises(ValueError):
+            Scenario(generator="uniform", params={"payload_bytes": [1, 2]})
+
+    def test_unknown_generator_fails_at_stream_build(self):
+        scenario = Scenario(generator="no-such-generator")
+        with pytest.raises(ValueError, match="unknown scenario generator"):
+            scenario_stream(scenario)
+
+    def test_unknown_param_fails_at_stream_build(self):
+        scenario = Scenario(generator="uniform", params={"bogus": 1})
+        with pytest.raises(ValueError, match="unknown param"):
+            scenario_stream(scenario)
+
+    def test_prefix_count_is_shared_and_ignored(self):
+        # Workload-side knob: every generator accepts and ignores it.
+        with_knob = Scenario(generator="uniform", packet_count=20,
+                             params={"prefix_count": 128})
+        without = Scenario(generator="uniform", packet_count=20)
+        assert ([t.packet for t in scenario_stream(with_knob)]
+                == [t.packet for t in scenario_stream(without)])
+
+    @given(scenario=scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip(self, scenario):
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_from_json_rejects_unknown_keys(self):
+        payload = Scenario(generator="uniform").to_json()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown Scenario field"):
+            Scenario.from_json(payload)
+
+
+class TestStreamDeterminism:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_NAMES))
+    def test_equal_scenarios_replay_identically(self, name):
+        scenario = Scenario(generator=name, packet_count=120, seed=5)
+        first = list(scenario_stream(scenario))
+        second = list(scenario_stream(Scenario.from_json(scenario.to_json())))
+        assert first == second
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_NAMES))
+    def test_seed_changes_the_stream(self, name):
+        base = Scenario(generator=name, packet_count=120, seed=0)
+        other = Scenario(generator=name, packet_count=120, seed=1)
+        assert (list(scenario_stream(base))
+                != list(scenario_stream(other)))
+
+    @given(scenario=scenarios(max_packets=80))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_and_time_monotonicity(self, scenario):
+        stream = list(scenario_stream(scenario))
+        assert len(stream) == scenario.packet_count
+        times = [timed.time for timed in stream]
+        assert all(later >= earlier
+                   for earlier, later in zip(times, times[1:]))
+        assert all(isinstance(timed, TimedPacket) for timed in stream)
+
+
+class TestLaziness:
+    def test_stream_is_a_generator(self):
+        stream = scenario_stream(Scenario(generator="uniform",
+                                          packet_count=10 ** 9))
+        first = next(stream)
+        assert first.time >= 0.0
+
+    def test_million_flow_stream_is_memory_flat(self):
+        # The whole point of the O(1) samplers: memory must not scale
+        # with the flow population (nothing of size flow_count exists).
+        scenario = Scenario(generator="heavy-tail", packet_count=2_000,
+                            seed=0, params={"flow_count": 1_000_000})
+        tracemalloc.start()
+        consumed = sum(1 for _ in scenario_stream(scenario))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert consumed == 2_000
+        assert peak < 4 * 1024 * 1024
+
+    def test_million_flow_simulation_is_memory_bounded(self):
+        # Acceptance criterion: a 1M-flow scenario streams through
+        # simulate_scenario under a fixed bound (queue state is
+        # O(buffer), report state O(buckets + served)).
+        scenario = Scenario(generator="heavy-tail", packet_count=3_000,
+                            seed=1, params={"flow_count": 1_000_000})
+        tracemalloc.start()
+        series = simulate_scenario(scenario, load=0.95, buffer_packets=64)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert series.totals.offered_packets == 3_000
+        assert peak < 16 * 1024 * 1024
+
+
+class TestDistributions:
+    def test_zipf_rank_matches_analytic_masses(self):
+        # Chi-square goodness of fit of the O(1) sampler against its own
+        # analytic law, over logarithmic rank buckets.
+        flow_count = 1_000_000
+        edges = (0, 1, 10, 100, 10_000, flow_count)
+        rng = random.Random(13)
+        draws = 6_000
+        observed = [0] * (len(edges) - 1)
+        for _ in range(draws):
+            rank = zipf_rank(rng.random(), flow_count)
+            for index in range(len(edges) - 1):
+                if edges[index] <= rank < edges[index + 1]:
+                    observed[index] += 1
+                    break
+        expected = [draws * zipf_bucket_mass(low, high, flow_count)
+                    for low, high in zip(edges, edges[1:])]
+        statistic = chi_square_statistic(observed, expected)
+        assert statistic < chi_square_critical(len(observed) - 1,
+                                               alpha=0.001)
+
+    def test_pareto_sizes_respect_bounds_and_tail(self):
+        rng = random.Random(5)
+        sizes = [pareto_size(rng.random()) for _ in range(4_000)]
+        assert all(40 <= size <= 1500 for size in sizes)
+        # Heavy tail: the MTU cap must actually be hit, and small sizes
+        # must dominate (the mice).
+        assert any(size == 1500 for size in sizes)
+        assert sum(1 for size in sizes if size < 120) > len(sizes) / 2
+
+    def test_poisson_gaps_are_exponential(self):
+        # KS against the exact Exp(1) quantile sample -- scipy-free.
+        rng = random.Random(11)
+        times = list(poisson_arrivals(1_500, rng))
+        gaps = [b - a for a, b in zip([0.0] + times, times)]
+        count = len(gaps)
+        quantiles = [-math.log(1.0 - (i + 0.5) / count)
+                     for i in range(count)]
+        statistic = ks_two_sample_statistic(gaps, quantiles)
+        assert statistic < ks_two_sample_critical(count, count, alpha=0.001)
+
+    def test_hot_flow_concentration(self):
+        scenario = Scenario(generator="hot-flow", packet_count=2_000,
+                            seed=2)
+        hot_flows = SCENARIO_GENERATORS["hot-flow"].defaults["hot_flows"]
+        stream = list(scenario_stream(scenario))
+        hot = sum(1 for timed in stream
+                  if timed.packet.flow_id < hot_flows)
+        # hot_share=0.85 plus the Zipf head landing in the same ranks.
+        assert hot / len(stream) > 0.8
+
+    def test_nat_exhaustion_opens_mostly_new_flows(self):
+        scenario = Scenario(generator="nat-exhaustion",
+                            packet_count=2_000, seed=3)
+        flow_ids = {timed.packet.flow_id
+                    for timed in scenario_stream(scenario)}
+        assert len(flow_ids) > 1_600
+        sources = {timed.packet.source
+                   for timed in scenario_stream(scenario)}
+        assert all(source >> 24 == 0x0A for source in sources)
+
+    def test_tiny_flood_is_header_only(self):
+        scenario = Scenario(generator="tiny-flood", packet_count=300,
+                            seed=0)
+        lengths = {timed.packet.length
+                   for timed in scenario_stream(scenario)}
+        assert lengths == {20}
+
+    def test_flash_crowd_concentrates_late(self):
+        scenario = Scenario(generator="flash-crowd", packet_count=2_000,
+                            seed=4)
+        stream = list(scenario_stream(scenario))
+        hot_count = SCENARIO_GENERATORS[
+            "flash-crowd"].defaults["hot_destinations"]
+        half = len(stream) // 2
+        def hot_fraction(window):
+            counts = {}
+            for timed in window:
+                counts[timed.packet.destination] = counts.get(
+                    timed.packet.destination, 0) + 1
+            top = sorted(counts.values(), reverse=True)[:hot_count]
+            return sum(top) / len(window)
+        assert hot_fraction(stream[half:]) > hot_fraction(stream[:half]) + 0.3
+        # The ramp also accelerates arrivals: the second half spans less
+        # wall-clock than the first.
+        assert (stream[-1].time - stream[half].time
+                < stream[half].time - stream[0].time)
+
+    def test_flow_endpoints_are_stable_and_private(self):
+        source, destination = flow_endpoints(42, seed=7)
+        assert (source, destination) == flow_endpoints(42, seed=7)
+        assert source >> 24 == 0x0A
+        assert 0 <= destination <= 0xFFFFFFFF
+        assert flow_endpoints(42, seed=8) != (source, destination)
+
+
+class TestCounters:
+    def test_stream_bumps_traffic_counters(self):
+        counters = CounterSet()
+        scenario = Scenario(generator="uniform", packet_count=50, seed=0)
+        total_bytes = sum(timed.packet.length for timed
+                          in scenario_stream(scenario, counters=counters))
+        snapshot = counters.snapshot()
+        assert snapshot["traffic.streams"] == 1
+        assert snapshot["traffic.packets"] == 50
+        assert snapshot["traffic.bytes"] == total_bytes
+
+    def test_simulation_counters_conserve(self):
+        counters = CounterSet()
+        scenario = Scenario(generator="bursty", packet_count=600, seed=1)
+        simulate_scenario(scenario, load=1.1, buffer_packets=16,
+                          counters=counters)
+        snapshot = counters.snapshot()
+        assert snapshot["traffic.offered"] == 600
+        assert (snapshot["traffic.offered"]
+                == snapshot["traffic.dropped"]
+                + snapshot["traffic.completed"]
+                + snapshot["traffic.queued_at_end"])
+
+
+class TestSimulateScenario:
+    @given(scenario=scenarios(max_packets=200))
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_for_any_scenario(self, scenario):
+        series = simulate_scenario(scenario, load=1.0, buffer_packets=8,
+                                   bucket_count=6)
+        totals = series.totals
+        assert (totals.offered_packets
+                == totals.dropped_packets + series.completed_packets
+                + series.queued_at_end)
+        assert totals.served_packets + totals.dropped_packets \
+            == totals.offered_packets
+        in_system = 0
+        for bucket in series.buckets:
+            in_system += bucket.offered - bucket.dropped - bucket.completed
+            assert bucket.queued_at_end == in_system
+            assert bucket.peak_occupancy <= 8 + 1
+        assert series.queued_at_end <= 8 + 1
+
+    def test_zero_packet_scenario_is_well_defined(self):
+        series = simulate_scenario(Scenario(generator="uniform",
+                                            packet_count=0))
+        assert series.totals.offered_packets == 0
+        assert series.totals.loss_rate == 0.0
+        assert series.totals.goodput_fraction == 1.0
+        assert series.buckets == ()
+        assert series.queued_at_end == 0
+
+    def test_loss_grows_with_load(self):
+        scenario = Scenario(generator="flash-crowd", packet_count=1_500,
+                            seed=0)
+        losses = [simulate_scenario(scenario, load=load,
+                                    buffer_packets=32).totals.loss_rate
+                  for load in (0.5, 0.9, 1.25)]
+        assert losses[0] <= losses[1] <= losses[2]
+        assert losses[2] > losses[0]
+
+    def test_bigger_buffer_never_loses_more(self):
+        scenario = Scenario(generator="bursty", packet_count=1_000, seed=2)
+        small = simulate_scenario(scenario, load=1.0, buffer_packets=4)
+        large = simulate_scenario(scenario, load=1.0, buffer_packets=256)
+        assert large.totals.dropped_packets <= small.totals.dropped_packets
+
+    def test_series_json_is_canonical(self):
+        scenario = Scenario(generator="uniform", packet_count=200, seed=9)
+        first = simulate_scenario(scenario).to_json()
+        second = simulate_scenario(scenario).to_json()
+        assert first == second
+        assert first["scenario"] == scenario.to_json()
+
+    def test_validation(self):
+        scenario = Scenario(generator="uniform", packet_count=10)
+        with pytest.raises(ValueError):
+            simulate_scenario(scenario, load=0.0)
+        with pytest.raises(ValueError):
+            simulate_scenario(scenario, buffer_packets=0)
+        with pytest.raises(ValueError):
+            simulate_scenario(scenario, bucket_count=0)
+        with pytest.raises(ValueError):
+            ServiceModel(base_cycles=0.0)
+
+
+class TestHarnessWiring:
+    def test_config_accepts_and_validates_scenario(self):
+        config = ExperimentConfig(app="route", packet_count=30,
+                                  scenario="flash-crowd")
+        assert config.scenario == "flash-crowd"
+        assert config.label.endswith("/flash-crowd")
+        with pytest.raises(ValueError, match="scenario"):
+            ExperimentConfig(app="route", scenario="no-such")
+
+    def test_config_json_round_trip_carries_scenario(self):
+        config = ExperimentConfig(app="nat", packet_count=30,
+                                  scenario="nat-exhaustion")
+        rebuilt = ExperimentConfig.from_json(config.to_json())
+        assert rebuilt == config
+        assert rebuilt.golden().scenario == "nat-exhaustion"
+
+    def test_scenario_changes_the_store_key(self):
+        plain = ExperimentConfig(app="route", packet_count=30)
+        scenic = ExperimentConfig(app="route", packet_count=30,
+                                  scenario="heavy-tail")
+        assert config_key(plain) != config_key(scenic)
+
+    def test_scenario_workload_uses_generated_packets(self):
+        config = ExperimentConfig(
+            app="route", packet_count=40, seed=3, scenario="flash-crowd",
+            workload_kwargs={"flow_count": 500, "prefix_count": 128})
+        workload = load_workload(config)
+        scenario = Scenario(generator="flash-crowd", packet_count=40,
+                            seed=3, params={"flow_count": 500,
+                                            "prefix_count": 128})
+        expected = [timed.packet for timed in scenario_stream(scenario)]
+        assert list(workload.packets) == expected
+
+    @pytest.mark.parametrize("app,scenario", [
+        ("route", "flash-crowd"),
+        ("nat", "nat-exhaustion"),
+        ("crc", "tiny-flood"),
+    ])
+    def test_run_experiment_over_scenario_traffic(self, app, scenario):
+        config = ExperimentConfig(
+            app=app, packet_count=25, seed=3, cycle_time=0.5,
+            fault_scale=30.0, scenario=scenario,
+            workload_kwargs={"flow_count": 64}
+            if scenario == "flash-crowd" else {})
+        result = run_experiment(config)
+        assert result.offered_packets == 25
+        assert result.processed_packets <= 25
+
+
+class TestTrafficCli:
+    def test_byte_identical_output(self, capsys):
+        from repro.harness.trafficcmd import main
+        argv = ["flash-crowd", "--seed", "0", "--packets", "400"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert '"scenario"' in first
+
+    def test_list_and_param_override(self, capsys):
+        from repro.harness.trafficcmd import main
+        assert main(["--list"]) == 0
+        listing = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert name in listing
+        assert main(["uniform", "--packets", "50",
+                     "--param", "payload_bytes=8"]) == 0
+        out = capsys.readouterr().out
+        assert '"payload_bytes": 8' in out

@@ -13,11 +13,14 @@ test:
 # reprolint: AST-based invariant linter (see docs/LINTING.md).  Covers
 # src/repro with the full rule set and tests/ with the relaxed
 # determinism-only profile (no wall-clock, no unseeded randomness).
+# --project additionally builds the import-resolved call graph and runs
+# the project-scope rules (seed-provenance, hot-path-alloc, dead-code,
+# api-drift) plus the cross-module resolution checks.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro lint --project
 
-# mypy: strict for repro.analysis and repro.telemetry, permissive
-# elsewhere (configured in pyproject.toml).
+# mypy: strict for repro.analysis, repro.telemetry, repro.oracle, and
+# repro.traffic; permissive elsewhere (configured in pyproject.toml).
 typecheck:
 	PYTHONPATH=src $(PYTHON) -m mypy
 

@@ -119,8 +119,3 @@ def dotted_name(node: ast.AST) -> "str | None":
     return None
 
 
-def walk_calls(tree: ast.AST) -> "Iterator[ast.Call]":
-    """Every Call node in the tree (helper shared by several rules)."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            yield node

@@ -6,6 +6,16 @@ error-severity finding, 2 usage error.
 Default operation lints ``src/repro`` under the ``src`` profile (every
 rule) and ``tests`` under the ``tests`` profile (determinism only,
 set-iteration relaxed), matching ``make lint`` and the CI gate.
+``--project`` additionally builds the whole-program symbol table and
+call graph (:mod:`repro.analysis.project`) and runs the project-scope
+rules (seed-provenance, hot-path-alloc, dead-code, api-drift) over it;
+sibling ``tests``/``benchmarks``/``examples`` trees are parsed as
+liveness references.
+
+Output formats (``--format``): ``text`` (human, default), ``json``
+(machine-readable report), and ``github`` (GitHub Actions
+``::error file=...,line=...`` workflow annotations, one per finding,
+so CI failures land on the offending line in the diff view).
 """
 
 from __future__ import annotations
@@ -14,18 +24,28 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis import baseline as baseline_module
 from repro.analysis.base import PROFILES, RULE_REGISTRY
 from repro.analysis.engine import lint_paths, make_rules
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.project import (
+    PROJECT_RULE_REGISTRY,
+    build_project,
+    default_reference_paths,
+    lint_project,
+    make_project_rules,
+)
 
 #: Baseline file looked up relative to the working directory by default.
 DEFAULT_BASELINE = "reprolint-baseline.json"
 
 #: Default lint roots (relative to the repository root).
 DEFAULT_PATHS = ("src/repro", "tests")
+
+#: Report formats.
+FORMATS = ("text", "json", "github")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,12 +54,22 @@ def _build_parser() -> argparse.ArgumentParser:
         description="reprolint: AST-based invariant linter for the "
                     "clumsy-packet-processor reproduction "
                     "(determinism, memory hygiene, layering, "
-                    "encapsulation, numeric safety)")
+                    "encapsulation, numeric safety; --project adds "
+                    "call-graph rules: seed provenance, hot-path "
+                    "allocation, dead code, api drift)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: "
                              "src/repro and tests, when they exist)")
+    parser.add_argument("--project", action="store_true",
+                        help="build the project symbol table and call "
+                             "graph over the lint paths and run the "
+                             "project-scope rules as well")
+    parser.add_argument("--format", choices=FORMATS, default=None,
+                        dest="format",
+                        help="report format: text (default), json, or "
+                             "github (workflow annotations)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="machine-readable JSON report on stdout")
+                        help="alias for --format json")
     parser.add_argument("--profile", choices=PROFILES + ("auto",),
                         default="auto",
                         help="force a rule profile; 'auto' (default) "
@@ -60,7 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="ignore any baseline file")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current findings to the baseline "
-                             "file and exit 0")
+                             "file (pruning stale entries) and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="list rule ids with descriptions and exit")
     return parser
@@ -74,6 +104,17 @@ def _split_ids(values: "List[str]") -> "List[str]":
     return ids
 
 
+def _partition_ids(ids: "List[str]",
+                   ) -> "Tuple[List[str], List[str], List[str]]":
+    """Split rule ids into (per-file, project, unknown)."""
+    per_file = [i for i in ids if i in RULE_REGISTRY]
+    project = [i for i in ids if i in PROJECT_RULE_REGISTRY]
+    unknown = [i for i in ids
+               if i not in RULE_REGISTRY
+               and i not in PROJECT_RULE_REGISTRY]
+    return per_file, project, unknown
+
+
 def _list_rules() -> str:
     lines = ["reprolint rules:"]
     for rule_id, rule_class in sorted(RULE_REGISTRY.items()):
@@ -82,6 +123,12 @@ def _list_rules() -> str:
                      f"profiles: {profiles}]")
         lines.append(f"      {rule_class.short}")
         lines.append(f"      rationale: {rule_class.rationale}")
+    lines.append("project rules (--project):")
+    for rule_id, project_class in sorted(PROJECT_RULE_REGISTRY.items()):
+        lines.append(f"  {rule_id:<16} [{project_class.severity}, "
+                     f"project-scope]")
+        lines.append(f"      {project_class.short}")
+        lines.append(f"      rationale: {project_class.rationale}")
     return "\n".join(lines)
 
 
@@ -111,6 +158,34 @@ def _render_report(findings: "List[Finding]", matched: int,
     return "\n".join(lines)
 
 
+def _render_github(findings: "List[Finding]", matched: int,
+                   stale: "List[str]", checked_paths: "List[str]",
+                   ) -> str:
+    """GitHub Actions workflow annotations, one line per finding."""
+    lines: "List[str]" = []
+    for finding in findings:
+        level = "error" if finding.severity == "error" else "warning"
+        # Annotation messages are %-escaped per the workflow-command
+        # grammar; newlines never occur in findings but escape anyway.
+        message = (f"{finding.rule}: {finding.message}"
+                   .replace("%", "%25")
+                   .replace("\r", "%0D")
+                   .replace("\n", "%0A"))
+        lines.append(f"::{level} file={finding.path},"
+                     f"line={finding.line},"
+                     f"col={finding.column + 1}::{message}")
+    errors = sum(1 for f in findings if f.severity == "error")
+    summary = (f"reprolint: {errors} error(s), "
+               f"{len(findings) - errors} warning(s) "
+               f"in {', '.join(checked_paths)}")
+    if matched:
+        summary += f"; {matched} baselined"
+    if stale:
+        summary += f"; {len(stale)} stale baseline entries"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
     """Entry point for ``python -m repro lint``."""
     parser = _build_parser()
@@ -120,6 +195,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         print(_list_rules())
         return 0
 
+    report_format = args.format or ("json" if args.as_json else "text")
+
     paths = args.paths or _default_paths()
     if not paths:
         parser.error("no paths given and neither src/repro nor tests "
@@ -128,21 +205,45 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(missing)}")
 
-    try:
-        rules = make_rules(disabled=_split_ids(args.disable),
-                           demoted=_split_ids(args.warning))
-    except ValueError as error:
-        parser.error(str(error))
+    disabled_file, disabled_project, unknown = _partition_ids(
+        _split_ids(args.disable))
+    demoted_file, demoted_project, also_unknown = _partition_ids(
+        _split_ids(args.warning))
+    unknown = sorted(set(unknown) | set(also_unknown))
+    if unknown:
+        known = sorted(set(RULE_REGISTRY) | set(PROJECT_RULE_REGISTRY))
+        parser.error(f"unknown rule id(s): {', '.join(unknown)}; "
+                     f"known: {', '.join(known)}")
+    rules = make_rules(disabled=disabled_file, demoted=demoted_file)
 
     profile = None if args.profile == "auto" else args.profile
-    findings = lint_paths(paths, rules, profile=profile)
+    options: "dict" = {}
+    project = None
+    if args.project:
+        project = build_project(paths, default_reference_paths(paths))
+        options["project"] = project
+    findings = lint_paths(paths, rules, profile=profile,
+                          options=options)
+    if project is not None:
+        project_rules = make_project_rules(disabled=disabled_project,
+                                           demoted=demoted_project)
+        findings = sort_findings(
+            findings + lint_project(project, project_rules))
 
     baseline_path = args.baseline or DEFAULT_BASELINE
     baseline_exists = os.path.exists(baseline_path)
     if args.write_baseline:
+        pruned = 0
+        if baseline_exists:
+            previous = baseline_module.load_baseline(baseline_path)
+            current = {finding.fingerprint for finding in findings}
+            pruned = sum(1 for fingerprint in previous
+                         if fingerprint not in current)
         baseline_module.write_baseline(baseline_path, findings)
+        note = f" (pruned {pruned} stale entr" \
+               f"{'y' if pruned == 1 else 'ies'})" if pruned else ""
         print(f"reprolint: wrote {len(findings)} finding(s) to "
-              f"{baseline_path}")
+              f"{baseline_path}{note}")
         return 0
 
     matched = 0
@@ -153,10 +254,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
             findings, baseline)
 
     errors = sum(1 for f in findings if f.severity == "error")
-    if args.as_json:
+    if report_format == "json":
         payload = {
             "version": 1,
             "paths": list(paths),
+            "project": bool(args.project),
             "findings": [finding.to_dict() for finding in findings],
             "baselined": matched,
             "stale_baseline": stale,
@@ -164,6 +266,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
             "warnings": len(findings) - errors,
         }
         print(json.dumps(payload, indent=2))
+    elif report_format == "github":
+        print(_render_github(findings, matched, stale, list(paths)))
     else:
         print(_render_report(findings, matched, stale, list(paths)))
     return 1 if errors else 0

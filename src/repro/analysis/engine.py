@@ -107,8 +107,12 @@ def make_rules(disabled: "Iterable[str]" = (),
     return instances
 
 
-def _suppressed_rules(line: str) -> "Optional[set]":
-    """Rule ids suppressed on this physical line (None when none)."""
+def suppressed_rules(line: str) -> "Optional[set]":
+    """Rule ids suppressed on this physical line (None when none).
+
+    Public because :func:`repro.analysis.project.lint_project` applies
+    the same comment grammar to project-scope findings.
+    """
     match = _SUPPRESS_RE.search(line)
     if match is None:
         return None
@@ -161,7 +165,7 @@ def lint_source(source: str, path: str, rules: "Sequence[Rule]",
         if profile not in rule.profiles:
             continue
         for finding in rule.check(context):
-            suppressed = _suppressed_rules(
+            suppressed = suppressed_rules(
                 context.source_line(finding.line))
             if suppressed is not None and \
                     ("all" in suppressed or finding.rule in suppressed):

@@ -1,0 +1,771 @@
+"""Project-scope analysis: symbol tables, call graph, ProjectContext.
+
+Per-file rules (:class:`~repro.analysis.base.Rule`) see one syntax tree
+at a time, which provably cannot catch cross-function properties: an
+unseeded RNG laundered through a helper in another module, a per-packet
+allocation three calls below a MemView accessor, a function no longer
+reachable from any entry point.  This module builds the whole-program
+view those rules need:
+
+* a **symbol table** per module: top-level bindings, import aliases
+  (including ``from x import y as z`` and lazy function-body imports),
+  classes with their methods and base-class references, ``__all__``;
+* an import-resolved, function-level **call graph** over every analysed
+  module.  Edges carry a *kind*: ``static`` (the callee was resolved
+  through the import tables), ``self`` (method dispatch on
+  ``self``/``cls``, resolved through the project class hierarchy), and
+  ``dynamic`` (an attribute call ``obj.m(...)`` whose receiver type is
+  unknown, linked by method name to every project class that defines
+  ``m`` -- a deliberate over-approximation that keeps data-plane walks
+  sound);
+* a :class:`ProjectContext` handed to :class:`ProjectRule` subclasses
+  (registered in :data:`PROJECT_RULE_REGISTRY`), the project-scope
+  analogue of :class:`~repro.analysis.base.FileContext`.
+
+Like the rest of ``repro.analysis``, nothing here imports the simulator:
+the call graph is built purely from syntax, so analysing the code can
+never perturb it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.base import FileContext, Rule
+from repro.analysis.findings import Finding, sort_findings
+
+# NOTE: repro.analysis.engine is imported lazily inside the build
+# functions below.  The engine imports the rules package at module
+# level (to populate the registry), the rules import this module, and a
+# top-level import back into the engine would close that cycle before
+# the engine's names exist.
+
+#: Call-edge kinds, in decreasing order of resolution confidence.
+EDGE_KINDS = ("static", "self", "dynamic")
+
+#: Attribute names never linked dynamically: ubiquitous Python container
+#: and string protocol methods whose receiver is almost always a host
+#: object, not a simulated component.  Linking them would wire half the
+#: codebase to any class that happens to define e.g. ``get``.
+_DYNAMIC_BLOCKLIST = frozenset({
+    "get", "items", "keys", "values", "setdefault", "pop", "popitem",
+    "append", "extend", "add", "update", "remove", "discard", "clear",
+    "copy", "sort", "reverse", "insert", "count", "index",
+    "split", "rsplit", "join", "strip", "lstrip", "rstrip", "format",
+    "encode", "decode", "startswith", "endswith", "replace", "lower",
+    "upper", "to_bytes", "from_bytes", "hexdigest", "digest",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by project-wide qualname."""
+
+    qualname: str                 #: e.g. ``repro.mem.view.MemView.read_u8``
+    module: str                   #: dotted module, e.g. ``repro.mem.view``
+    name: str                     #: bare name, e.g. ``read_u8``
+    class_name: "Optional[str]"   #: owning class, None for module level
+    path: str                     #: file the definition lives in
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    decorators: "Tuple[str, ...]" = ()   #: dotted decorator names
+    params: "Tuple[str, ...]" = ()       #: parameter names, in order
+
+    @property
+    def is_method(self) -> bool:
+        """Whether this function is defined inside a class."""
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and base references."""
+
+    qualname: str                 #: e.g. ``repro.mem.faults.FaultInjector``
+    module: str
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: "Tuple[str, ...]" = ()         #: base names as written
+    decorators: "Tuple[str, ...]" = ()
+    methods: "Dict[str, FunctionInfo]" = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table for one analysed module."""
+
+    module: str                   #: dotted module name
+    path: str
+    tree: ast.Module
+    lines: "List[str]"
+    #: local alias -> absolute dotted target.  ``import repro.mem`` maps
+    #: ``repro -> repro``; ``from repro.mem import view as v`` maps
+    #: ``v -> repro.mem.view``; ``from random import Random`` maps
+    #: ``Random -> random.Random``.
+    imports: "Dict[str, str]" = field(default_factory=dict)
+    #: every name bound at module top level (defs, classes, imports,
+    #: assignment targets), for resolution and api-drift checks.
+    bindings: "Set[str]" = field(default_factory=set)
+    functions: "Dict[str, FunctionInfo]" = field(default_factory=dict)
+    classes: "Dict[str, ClassInfo]" = field(default_factory=dict)
+    #: string entries of a top-level ``__all__`` list/tuple, in order.
+    exports: "Tuple[str, ...]" = ()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: caller -> callee at a source location."""
+
+    caller: str                   #: caller qualname (``...<module>`` for
+                                  #: module-level code)
+    callee: str                   #: callee qualname
+    kind: str                     #: one of :data:`EDGE_KINDS`
+    path: str
+    node: ast.Call
+
+    @property
+    def call(self) -> ast.Call:
+        """The call expression itself (alias for ``node``)."""
+        return self.node
+
+
+#: Suffix marking the pseudo-function that owns module-level statements.
+MODULE_BODY = "<module>"
+
+
+class ProjectContext:
+    """Everything a project-scope rule may look at.
+
+    Built once per run by :func:`build_project`; rules must treat it as
+    read-only.  ``files`` maps every *linted* path to its
+    :class:`FileContext`; ``reference_files`` holds additional parsed
+    trees (tests, benchmarks, examples) that count as liveness roots but
+    are not themselves linted by project rules.
+    """
+
+    def __init__(self) -> None:
+        self.files: "Dict[str, FileContext]" = {}
+        self.reference_files: "List[FileContext]" = []
+        self.modules: "Dict[str, ModuleInfo]" = {}
+        self.functions: "Dict[str, FunctionInfo]" = {}
+        self.classes: "Dict[str, ClassInfo]" = {}
+        self.calls: "List[CallSite]" = []
+        self._callees: "Dict[str, List[CallSite]]" = {}
+        self._callers: "Dict[str, List[CallSite]]" = {}
+
+    # -- graph access -------------------------------------------------------
+
+    def callees_of(self, qualname: str) -> "List[CallSite]":
+        """Outgoing call edges of one function (or ``...<module>``)."""
+        return self._callees.get(qualname, [])
+
+    def callers_of(self, qualname: str) -> "List[CallSite]":
+        """Incoming call edges of one function."""
+        return self._callers.get(qualname, [])
+
+    def source_line(self, path: str, lineno: int) -> str:
+        """Raw text of ``path:lineno`` ('' when unknown/out of range)."""
+        context = self.files.get(path)
+        if context is None:
+            return ""
+        return context.source_line(lineno)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_module(self, dotted: str) -> "Optional[ModuleInfo]":
+        """The :class:`ModuleInfo` for an absolute dotted module name."""
+        return self.modules.get(dotted)
+
+    def resolve_class(self, module: str,
+                      name: str) -> "Optional[ClassInfo]":
+        """Resolve a (possibly dotted) class reference from ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        target = resolve_chain(self, info, {}, name.split("."))
+        if target is None:
+            return None
+        return self.classes.get(target)
+
+    def mro(self, cls: ClassInfo) -> "List[ClassInfo]":
+        """The class plus its project-resolvable ancestors (DFS order)."""
+        seen: "Set[str]" = set()
+        order: "List[ClassInfo]" = []
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            order.append(current)
+            for base in current.bases:
+                resolved = self.resolve_class(current.module, base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return order
+
+    def lookup_method(self, cls: ClassInfo,
+                      name: str) -> "Optional[FunctionInfo]":
+        """Resolve a method through the project class hierarchy."""
+        for ancestor in self.mro(cls):
+            method = ancestor.methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def subclasses_of(self, class_name: str) -> "List[ClassInfo]":
+        """Every project class whose (transitive) bases include a class
+        named ``class_name`` (matched by bare name, import-resolved)."""
+        matches: "List[ClassInfo]" = []
+        for cls in self.classes.values():
+            for ancestor in self.mro(cls)[1:]:
+                if ancestor.name == class_name:
+                    matches.append(cls)
+                    break
+            else:
+                # Unresolvable external bases still count when the
+                # written base name matches (fixture trees have no
+                # importable NetBenchApp, mirroring the hygiene rule).
+                if any(base.split(".")[-1] == class_name
+                       for base in cls.bases):
+                    matches.append(cls)
+        return matches
+
+
+class ProjectRule(Rule):
+    """Base class for project-scope rules.
+
+    A project rule sees the whole :class:`ProjectContext` once per run
+    instead of one file at a time.  ``check`` (the per-file hook) is a
+    no-op so project rules can share the registry plumbing -- severity
+    demotion, ``--disable``, ``--list-rules`` -- with per-file rules.
+    """
+
+    profiles = ("src",)
+
+    def check(self, context: FileContext) -> "Iterator[Finding]":
+        return iter(())
+
+    def check_project(self,
+                      project: ProjectContext) -> "Iterator[Finding]":
+        """Yield findings over the whole project."""
+        raise NotImplementedError
+
+    def project_finding(self, project: ProjectContext, path: str,
+                        node: ast.AST, message: str,
+                        severity: "Optional[str]" = None) -> Finding:
+        """Build a finding anchored at a node of a project file."""
+        lineno = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            path=path,
+            line=lineno,
+            column=column,
+            message=message,
+            source_line=project.source_line(path, lineno),
+        )
+
+
+#: Registry of project-scope rule classes, keyed by rule id.
+PROJECT_RULE_REGISTRY: "Dict[str, Type[ProjectRule]]" = {}
+
+
+def register_project(rule_class: "Type[ProjectRule]",
+                     ) -> "Type[ProjectRule]":
+    """Class decorator adding a project rule to the registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} must set an id")
+    if rule_class.id in PROJECT_RULE_REGISTRY:
+        raise ValueError(f"duplicate project rule id {rule_class.id!r}")
+    PROJECT_RULE_REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+# ---------------------------------------------------------------------------
+# Symbol tables
+# ---------------------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> "Optional[str]":
+    """Render ``a.b.c`` attribute chains (None when dynamic)."""
+    parts: "List[str]" = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _decorator_names(node: "ast.FunctionDef | ast.AsyncFunctionDef | "
+                           "ast.ClassDef") -> "Tuple[str, ...]":
+    names: "List[str]" = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = _dotted(target)
+        if name is not None:
+            names.append(name)
+    return tuple(names)
+
+
+def _param_names(node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                 ) -> "Tuple[str, ...]":
+    args = node.args
+    ordered = list(args.posonlyargs) + list(args.args)
+    names = [arg.arg for arg in ordered]
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    return tuple(names)
+
+
+def _relative_target(module: "Optional[str]", path: str,
+                     node: ast.ImportFrom) -> "Optional[str]":
+    """Absolute module a relative ``from . import x`` refers to."""
+    if module is None:
+        return None
+    parts = module.split(".")
+    if path.endswith("__init__.py"):
+        parts = parts + ["__init__"]
+    if node.level >= len(parts):
+        return None
+    base = parts[:len(parts) - node.level]
+    return ".".join(base + ([node.module] if node.module else []))
+
+
+def collect_imports(context: FileContext, body: "Sequence[ast.stmt]",
+                     into: "Dict[str, str]") -> None:
+    """Record the alias bindings of the import statements in ``body``."""
+    for node in body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    into[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    into[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                resolved = _relative_target(context.module, context.path,
+                                            node)
+                if resolved is None:
+                    continue
+                base = resolved
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                into[local] = f"{base}.{alias.name}" if base \
+                    else alias.name
+
+
+def _build_module(context: FileContext) -> ModuleInfo:
+    """Symbol table for one file (module name already established)."""
+    assert context.module is not None
+    info = ModuleInfo(module=context.module, path=context.path,
+                      tree=context.tree, lines=context.lines)
+    collect_imports(context, context.tree.body, info.imports)
+    info.bindings.update(info.imports)
+    exports: "List[str]" = []
+    for node in context.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.bindings.add(node.name)
+            info.functions[node.name] = FunctionInfo(
+                qualname=f"{info.module}.{node.name}",
+                module=info.module, name=node.name, class_name=None,
+                path=info.path, node=node,
+                decorators=_decorator_names(node),
+                params=_param_names(node))
+        elif isinstance(node, ast.ClassDef):
+            info.bindings.add(node.name)
+            cls = ClassInfo(
+                qualname=f"{info.module}.{node.name}",
+                module=info.module, name=node.name, path=info.path,
+                node=node,
+                bases=tuple(name for name in
+                            (_dotted(base) for base in node.bases)
+                            if name is not None),
+                decorators=_decorator_names(node))
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionInfo(
+                        qualname=f"{cls.qualname}.{item.name}",
+                        module=info.module, name=item.name,
+                        class_name=node.name, path=info.path, node=item,
+                        decorators=_decorator_names(item),
+                        params=_param_names(item))
+            info.classes[node.name] = cls
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.bindings.add(target.id)
+                    if target.id == "__all__" and \
+                            isinstance(node.value, (ast.List, ast.Tuple)):
+                        for element in node.value.elts:
+                            if isinstance(element, ast.Constant) and \
+                                    isinstance(element.value, str):
+                                exports.append(element.value)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                info.bindings.add(node.target.id)
+    info.exports = tuple(exports)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Call resolution
+# ---------------------------------------------------------------------------
+
+def resolve_chain(project: ProjectContext, info: ModuleInfo,
+                   local_imports: "Dict[str, str]",
+                   parts: "Sequence[str]") -> "Optional[str]":
+    """Resolve a dotted reference to a project qualname.
+
+    Returns the qualname of a function, class, or method when the chain
+    lands on one, else None.  The head is looked up through the local
+    (function-body) import overlay, then the module import table, then
+    the module's own top-level bindings; remaining parts are consumed
+    through submodules and class bodies.
+    """
+    if not parts:
+        return None
+    head, rest = parts[0], list(parts[1:])
+    absolute: "Optional[str]" = None
+    if head in local_imports:
+        absolute = local_imports[head]
+    elif head in info.imports:
+        absolute = info.imports[head]
+    elif head in info.functions:
+        return _descend(project, info.functions[head].qualname, rest)
+    elif head in info.classes:
+        return _descend(project, info.classes[head].qualname, rest)
+    else:
+        return None
+    # Extend through real submodules as far as the chain allows.
+    while rest and project.resolve_module(absolute) is None and \
+            project.resolve_module(f"{absolute}.{rest[0]}") is not None:
+        absolute = f"{absolute}.{rest.pop(0)}"
+    while rest and project.resolve_module(absolute) is not None and \
+            project.resolve_module(f"{absolute}.{rest[0]}") is not None:
+        absolute = f"{absolute}.{rest.pop(0)}"
+    return _descend(project, absolute, rest)
+
+
+def _descend(project: ProjectContext, qualname: str,
+             rest: "Sequence[str]") -> "Optional[str]":
+    """Follow ``rest`` from a resolved qualname into members."""
+    current = qualname
+    for part in rest:
+        module = project.resolve_module(current)
+        if module is not None:
+            if part in module.functions:
+                current = module.functions[part].qualname
+                continue
+            if part in module.classes:
+                current = module.classes[part].qualname
+                continue
+            if part in module.imports:
+                current = module.imports[part]
+                continue
+            return None
+        cls = project.classes.get(current)
+        if cls is not None:
+            method = project.lookup_method(cls, part)
+            if method is None:
+                return None
+            current = method.qualname
+            continue
+        return None
+    if current in project.functions or current in project.classes:
+        return current
+    module = project.resolve_module(current)
+    if module is not None:
+        return None
+    return None
+
+
+def _callable_target(project: ProjectContext,
+                     qualname: str) -> "Optional[str]":
+    """Map a resolved qualname to the function actually entered.
+
+    Calling a class enters its ``__init__`` (resolved through the
+    project hierarchy); calling a function enters the function.
+    """
+    if qualname in project.functions:
+        return qualname
+    cls = project.classes.get(qualname)
+    if cls is not None:
+        init = project.lookup_method(cls, "__init__")
+        return init.qualname if init is not None else cls.qualname
+    return None
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collect call edges for one function (or module) body."""
+
+    def __init__(self, project: ProjectContext, info: ModuleInfo,
+                 caller: str, class_info: "Optional[ClassInfo]") -> None:
+        self.project = project
+        self.info = info
+        self.caller = caller
+        self.class_info = class_info
+        self.local_imports: "Dict[str, str]" = {}
+        self.edges: "List[CallSite]" = []
+
+    # Lazy imports inside the body extend the resolution table.
+    def visit_Import(self, node: ast.Import) -> None:
+        collect_imports(self._context(), [node], self.local_imports)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        collect_imports(self._context(), [node], self.local_imports)
+
+    def _context(self) -> FileContext:
+        return self.project.files[self.info.path]
+
+    # Nested defs belong to their enclosing function: their calls run
+    # (at most) when the encloser runs, which is the conservative edge.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.generic_visit(node)
+
+    def visit_decorator(self, node: ast.expr) -> None:
+        """Record a decorator application as an import-time call.
+
+        ``@register(...)`` contains a Call node and is handled by the
+        normal visit; a bare ``@register`` carries no Call node yet
+        still invokes ``register(fn)`` when the module loads -- the
+        registration pattern the registries rely on.
+        """
+        if isinstance(node, ast.Call):
+            self.visit(node)
+            return
+        name = _dotted(node)
+        if name is None:
+            return
+        resolved = resolve_chain(self.project, self.info,
+                                 self.local_imports, name.split("."))
+        if resolved is None:
+            return
+        target = _callable_target(self.project, resolved)
+        if target is not None:
+            self.edges.append(CallSite(
+                caller=self.caller, callee=target, kind="static",
+                path=self.info.path, node=node))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        target, kind = self._resolve(node)
+        if target is not None:
+            self.edges.append(CallSite(
+                caller=self.caller, callee=target, kind=kind,
+                path=self.info.path, node=node))
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr not in _DYNAMIC_BLOCKLIST:
+            # Unknown receiver: link by method name to every project
+            # class defining it (sound over-approximation).
+            for cls in self.project.classes.values():
+                method = cls.methods.get(node.func.attr)
+                if method is not None:
+                    self.edges.append(CallSite(
+                        caller=self.caller, callee=method.qualname,
+                        kind="dynamic", path=self.info.path, node=node))
+
+    def _resolve(self,
+                 node: ast.Call) -> "Tuple[Optional[str], str]":
+        name = _dotted(node.func)
+        if name is None:
+            return None, "static"
+        parts = name.split(".")
+        if parts[0] in ("self", "cls") and self.class_info is not None:
+            if len(parts) == 2:
+                method = self.project.lookup_method(self.class_info,
+                                                    parts[1])
+                if method is not None:
+                    return method.qualname, "self"
+            return None, "self"
+        resolved = resolve_chain(self.project, self.info,
+                                  self.local_imports, parts)
+        if resolved is None:
+            return None, "static"
+        target = _callable_target(self.project, resolved)
+        if target is None and resolved in self.project.classes:
+            # Class with no resolvable __init__: edge to the class
+            # qualname so reachability still sees the construction.
+            return resolved, "static"
+        return target, "static"
+
+
+def _collect_calls(project: ProjectContext) -> None:
+    """Populate the call graph over every project module."""
+    for info in project.modules.values():
+        module_caller = f"{info.module}.{MODULE_BODY}"
+        collector = _CallCollector(project, info, module_caller, None)
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                # The def's body runs when called, but its decorators
+                # and class-level statements run at import time.
+                for decorator in node.decorator_list:
+                    collector.visit_decorator(decorator)
+                if isinstance(node, ast.ClassDef):
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            for decorator in item.decorator_list:
+                                collector.visit_decorator(decorator)
+                        else:
+                            collector.visit(item)
+                continue
+            collector.visit(node)
+        project.calls.extend(collector.edges)
+        for function in info.functions.values():
+            collector = _CallCollector(project, info,
+                                       function.qualname, None)
+            for statement in function.node.body:
+                collector.visit(statement)
+            project.calls.extend(collector.edges)
+        for cls in info.classes.values():
+            for method in cls.methods.values():
+                collector = _CallCollector(project, info,
+                                           method.qualname, cls)
+                for statement in method.node.body:
+                    collector.visit(statement)
+                project.calls.extend(collector.edges)
+    for edge in project.calls:
+        project._callees.setdefault(edge.caller, []).append(edge)
+        project._callers.setdefault(edge.callee, []).append(edge)
+
+
+# ---------------------------------------------------------------------------
+# Building
+# ---------------------------------------------------------------------------
+
+def _parse_file(path: str) -> "Optional[FileContext]":
+    """Parse one file into a FileContext (None on syntax errors --
+    the per-file pipeline already reports those as findings)."""
+    from repro.analysis.engine import module_name_for, profile_for
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError):
+        return None
+    return FileContext(path=path, module=module_name_for(path),
+                       tree=tree, lines=source.splitlines(),
+                       profile=profile_for(path))
+
+
+def build_project(paths: "Sequence[str]",
+                  reference_paths: "Sequence[str]" = (),
+                  ) -> ProjectContext:
+    """Build a :class:`ProjectContext` over files and directories.
+
+    ``paths`` are analysed in full (symbol tables, call graph, project
+    rules); ``reference_paths`` are parsed only as liveness roots for
+    reachability-style rules (tests, benchmarks, examples).
+    """
+    from repro.analysis.engine import iter_python_files
+    project = ProjectContext()
+    for path in iter_python_files(paths):
+        context = _parse_file(path)
+        if context is None:
+            continue
+        project.files[path] = context
+        if context.module is not None and \
+                context.module not in project.modules:
+            project.modules[context.module] = _build_module(context)
+    for path in iter_python_files(reference_paths):
+        if path in project.files:
+            continue
+        context = _parse_file(path)
+        if context is not None:
+            project.reference_files.append(context)
+    for info in project.modules.values():
+        project.functions.update(
+            {f.qualname: f for f in info.functions.values()})
+        for cls in info.classes.values():
+            project.classes[cls.qualname] = cls
+            project.functions.update(
+                {m.qualname: m for m in cls.methods.values()})
+    _collect_calls(project)
+    for context in project.files.values():
+        context.options["project"] = project
+    return project
+
+
+def default_reference_paths(paths: "Sequence[str]") -> "List[str]":
+    """Sibling directories that count as liveness roots.
+
+    For a lint run rooted at ``src/repro`` (or any path inside a
+    repository checkout), tests, benchmarks, and examples reference the
+    code under analysis without being part of it.
+    """
+    roots: "Set[str]" = set()
+    for path in paths:
+        current = os.path.abspath(path)
+        for _ in range(6):
+            for sibling in ("tests", "benchmarks", "examples"):
+                candidate = os.path.join(current, sibling)
+                if os.path.isdir(candidate):
+                    roots.add(candidate)
+            parent = os.path.dirname(current)
+            if parent == current:
+                break
+            current = parent
+    given = {os.path.abspath(path) for path in paths}
+    return sorted(root for root in roots if root not in given)
+
+
+# ---------------------------------------------------------------------------
+# Running project rules
+# ---------------------------------------------------------------------------
+
+def make_project_rules(disabled: "Sequence[str]" = (),
+                       demoted: "Sequence[str]" = (),
+                       ) -> "List[ProjectRule]":
+    """Instantiate registered project rules (mirrors ``make_rules``).
+
+    Unknown ids are the CLI's problem: it validates against the union
+    of both registries before calling either factory.
+    """
+    disabled_set = set(disabled)
+    demoted_set = set(demoted)
+    instances: "List[ProjectRule]" = []
+    for rule_id, rule_class in PROJECT_RULE_REGISTRY.items():
+        if rule_id in disabled_set:
+            continue
+        instance = rule_class()
+        if rule_id in demoted_set:
+            instance.severity = "warning"
+        instances.append(instance)
+    return instances
+
+
+def lint_project(project: ProjectContext,
+                 rules: "Sequence[ProjectRule]") -> "List[Finding]":
+    """Run project rules, honouring per-line suppression comments."""
+    from repro.analysis.engine import suppressed_rules
+    findings: "List[Finding]" = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            suppressed = suppressed_rules(
+                project.source_line(finding.path, finding.line))
+            if suppressed is not None and \
+                    ("all" in suppressed or finding.rule in suppressed):
+                continue
+            findings.append(finding)
+    return sort_findings(findings)

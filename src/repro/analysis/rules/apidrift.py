@@ -1,0 +1,275 @@
+"""Rule ``api-drift``: the facade and the registries must round-trip.
+
+The per-file ``private-import`` rule audits ``repro/api.py`` in
+isolation: imports only from ``repro.*``, ``__all__`` declared, every
+export bound and public *in the facade*.  What it cannot see is the
+other end of each arrow -- whether ``from repro.mem.faults import
+INJECTOR_NAMES`` still names something that exists, or whether the
+string registries that config dispatch relies on
+(``ExperimentConfig(injector=...)``, scenario generators, oracle
+invariants, lint rules) have silently forked from their lookup tables.
+This project rule closes the loop:
+
+* every ``from repro.x import name`` in the facade must target a module
+  that exists in the project and a name bound at its top level; when
+  the source module declares ``__all__``, the name must be in it
+  (public at source);
+* ``repro.mem.faults``: the ``INJECTOR_NAMES`` tuple and the
+  ``_INJECTOR_CLASSES`` dispatch dict must contain exactly the same
+  names -- a drift here makes ``make_injector`` reject a documented
+  injector or accept an undocumented one;
+* decorator registries: every ``@register_generator("name")`` string in
+  ``repro.traffic.generators`` must be unique and non-empty, and every
+  ``@register`` / ``@register_invariant`` / ``@register_project`` class
+  must bind a unique, non-empty ``id`` -- duplicate ids shadow each
+  other at import time, which no unit test of either party catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ModuleInfo,
+    ProjectContext,
+    ProjectRule,
+    register_project,
+)
+
+#: The facade whose imports are resolved against their source modules.
+API_FACADE_MODULE = "repro.api"
+
+#: (module, names-tuple binding, dispatch-dict binding) triples that
+#: must agree exactly.
+_NAME_TABLE_PAIRS = (
+    ("repro.mem.faults", "INJECTOR_NAMES", "_INJECTOR_CLASSES"),
+)
+
+#: (module, decorator) pairs registering by string first argument.
+_STRING_REGISTRIES = (
+    ("repro.traffic.generators", "register_generator"),
+)
+
+#: Decorators registering classes keyed by their ``id`` attribute.
+_ID_REGISTRY_DECORATORS = frozenset({
+    "register", "register_invariant", "register_project",
+})
+
+
+def _top_level_value(info: ModuleInfo,
+                     name: str) -> "Optional[ast.expr]":
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id == name:
+            return node.value
+    return None
+
+
+def _string_elements(node: "Optional[ast.expr]",
+                     ) -> "Optional[List[str]]":
+    """Strings of a literal list/tuple, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values: "List[str]" = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and
+                isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _dict_string_keys(node: "Optional[ast.expr]",
+                      ) -> "Optional[List[str]]":
+    """String keys of a dict literal, else None."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: "List[str]" = []
+    for key in node.keys:
+        if not (isinstance(key, ast.Constant) and
+                isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return keys
+
+
+def _class_id(node: ast.ClassDef) -> "Optional[str]":
+    """The string bound to a class-level ``id`` attribute, if any."""
+    for item in node.body:
+        targets: "List[ast.expr]" = []
+        if isinstance(item, ast.Assign):
+            targets = item.targets
+            value = item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets = [item.target]
+            value = item.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "id" and \
+                    isinstance(value, ast.Constant) and \
+                    isinstance(value.value, str):
+                return value.value
+    return None
+
+
+@register_project
+class ApiDriftRule(ProjectRule):
+    """Facade exports resolve at source; registry names round-trip."""
+
+    id = "api-drift"
+    severity = "error"
+    short = ("repro.api imports must resolve publicly at source; "
+             "registry name tables must round-trip")
+    rationale = ("the facade and the string registries are the "
+                 "supported surface; a name that stops resolving or a "
+                 "forked dispatch table breaks callers that no unit "
+                 "test of either side exercises")
+
+    def check_project(self,
+                      project: ProjectContext) -> "Iterator[Finding]":
+        yield from self._check_facade(project)
+        yield from self._check_name_tables(project)
+        yield from self._check_string_registries(project)
+        yield from self._check_id_registries(project)
+
+    # -- facade: both ends of every import -----------------------------------
+
+    def _check_facade(self,
+                      project: ProjectContext) -> "Iterator[Finding]":
+        facade = project.resolve_module(API_FACADE_MODULE)
+        if facade is None:
+            return
+        for node in facade.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            module = node.module or ""
+            if node.level != 0 or not module.startswith("repro"):
+                continue
+            source = project.resolve_module(module)
+            if source is None:
+                yield self.project_finding(
+                    project, facade.path, node,
+                    f"the facade imports from {module}, which does not "
+                    f"exist in the project")
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.name not in source.bindings:
+                    yield self.project_finding(
+                        project, facade.path, node,
+                        f"the facade re-exports {alias.name!r} from "
+                        f"{module}, which does not bind it")
+                elif source.exports and \
+                        alias.name not in source.exports:
+                    yield self.project_finding(
+                        project, facade.path, node,
+                        f"the facade re-exports {alias.name!r} from "
+                        f"{module}, whose __all__ does not list it "
+                        f"(not public at source)")
+
+    # -- literal name tables --------------------------------------------------
+
+    def _check_name_tables(self,
+                           project: ProjectContext,
+                           ) -> "Iterator[Finding]":
+        for module, names_binding, table_binding in _NAME_TABLE_PAIRS:
+            info = project.resolve_module(module)
+            if info is None:
+                continue
+            names_node = _top_level_value(info, names_binding)
+            table_node = _top_level_value(info, table_binding)
+            names = _string_elements(names_node)
+            keys = _dict_string_keys(table_node)
+            if names is None or keys is None:
+                continue
+            anchor = names_node if names_node is not None else info.tree
+            for missing in sorted(set(names) - set(keys)):
+                yield self.project_finding(
+                    project, info.path, anchor,
+                    f"{names_binding} lists {missing!r} but "
+                    f"{table_binding} has no such key; the dispatch "
+                    f"rejects a documented name")
+            for extra in sorted(set(keys) - set(names)):
+                yield self.project_finding(
+                    project, info.path, anchor,
+                    f"{table_binding} dispatches {extra!r} but "
+                    f"{names_binding} does not list it; the name is "
+                    f"reachable yet undocumented")
+
+    # -- decorator registries -------------------------------------------------
+
+    def _check_string_registries(self,
+                                 project: ProjectContext,
+                                 ) -> "Iterator[Finding]":
+        for module, decorator_name in _STRING_REGISTRIES:
+            info = project.resolve_module(module)
+            if info is None:
+                continue
+            seen: "Dict[str, str]" = {}
+            for function in info.functions.values():
+                for decorator in function.node.decorator_list:
+                    if not (isinstance(decorator, ast.Call) and
+                            isinstance(decorator.func, ast.Name) and
+                            decorator.func.id == decorator_name):
+                        continue
+                    if not (decorator.args and
+                            isinstance(decorator.args[0], ast.Constant)
+                            and isinstance(decorator.args[0].value,
+                                           str)):
+                        yield self.project_finding(
+                            project, info.path, decorator,
+                            f"@{decorator_name}(...) must register a "
+                            f"literal string name")
+                        continue
+                    name = decorator.args[0].value
+                    if not name:
+                        yield self.project_finding(
+                            project, info.path, decorator,
+                            f"@{decorator_name}(\"\") registers an "
+                            f"empty name")
+                    elif name in seen:
+                        yield self.project_finding(
+                            project, info.path, decorator,
+                            f"@{decorator_name}({name!r}) on "
+                            f"{function.name}() shadows the earlier "
+                            f"registration on {seen[name]}()")
+                    else:
+                        seen[name] = function.name
+
+    def _check_id_registries(self,
+                             project: ProjectContext,
+                             ) -> "Iterator[Finding]":
+        seen: "Dict[Tuple[str, str], str]" = {}
+        for qualname in sorted(project.classes):
+            cls = project.classes[qualname]
+            decorators = {d.split(".")[-1] for d in cls.decorators}
+            registering = decorators & _ID_REGISTRY_DECORATORS
+            if not registering:
+                continue
+            identifier = _class_id(cls.node)
+            for decorator in sorted(registering):
+                if not identifier:
+                    yield self.project_finding(
+                        project, cls.path, cls.node,
+                        f"@{decorator} class {cls.name} binds no "
+                        f"literal string id; the registry key would "
+                        f"be empty or dynamic")
+                    continue
+                key = (decorator, identifier)
+                if key in seen:
+                    yield self.project_finding(
+                        project, cls.path, cls.node,
+                        f"@{decorator} class {cls.name} reuses id "
+                        f"{identifier!r} of {seen[key]}; the later "
+                        f"import silently shadows the earlier one")
+                else:
+                    seen[key] = cls.qualname

@@ -16,6 +16,13 @@ Relaxation: under the ``tests`` profile set iteration is permitted
 (assertion helpers iterate small sets harmlessly), but wall-clock reads
 and unseeded module-level randomness remain forbidden -- test
 expectations must not depend on either.
+
+Two measurement carve-outs: the profiling clocks
+(``time.perf_counter``/``process_time`` families) and environment reads
+(``os.environ``/``os.getenv``) are the *job* of the measurement context
+-- the ``harness``/``telemetry`` layers and ``benchmarks/`` -- and are
+allowed there only.  Anywhere else they launder host state into results
+that must be a pure function of config + seed.
 """
 
 from __future__ import annotations
@@ -42,6 +49,22 @@ _CLOCK_FUNCTIONS = frozenset({
     "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
 })
 
+#: Clock functions that measure *host* performance rather than feed
+#: simulated time; legitimate in the measurement layers (see
+#: :func:`_is_measurement_context`), never in the simulator proper.
+_PROFILING_CLOCKS = frozenset({
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+#: Layers whose job is measuring/orchestrating the host run: wall-clock
+#: profiling and environment knobs are their business.  Everything else
+#: must be a pure function of config + seed.
+_MEASUREMENT_LAYERS = frozenset({"harness", "telemetry"})
+
+#: Path components that also mark measurement context (benchmarks are
+#: linted under the tests profile but time the host by design).
+_MEASUREMENT_DIRS = frozenset({"benchmarks"})
+
 #: ``datetime``/``date`` constructors that read host clocks.
 _NOW_FUNCTIONS = frozenset({"now", "utcnow", "today"})
 
@@ -50,6 +73,14 @@ _ENTROPY_MODULES = frozenset({"secrets"})
 
 #: Builtins that materialise an iterable in iteration order.
 _ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "iter"})
+
+
+def _is_measurement_context(context: FileContext) -> bool:
+    """Whether host profiling / environment reads are this file's job."""
+    if context.layer() in _MEASUREMENT_LAYERS:
+        return True
+    parts = context.path.replace("\\", "/").split("/")
+    return bool(_MEASUREMENT_DIRS.intersection(parts))
 
 
 def _is_set_expression(node: ast.AST) -> bool:
@@ -77,21 +108,27 @@ class DeterminismRule(Rule):
     def check(self, context: FileContext) -> "Iterator[Finding]":
         allow_sets = bool(context.options.get("allow_set_iteration",
                                               context.profile == "tests"))
+        measurement = _is_measurement_context(context)
         for node in ast.walk(context.tree):
             if isinstance(node, ast.ImportFrom) and node.level == 0:
-                yield from self._check_import_from(context, node)
+                yield from self._check_import_from(context, node,
+                                                   measurement)
             elif isinstance(node, ast.Import):
                 yield from self._check_import(context, node)
             else:
                 if isinstance(node, ast.Call):
-                    yield from self._check_call(context, node)
+                    yield from self._check_call(context, node,
+                                                measurement)
+                if isinstance(node, ast.Attribute) and not measurement:
+                    yield from self._check_environ(context, node)
                 if not allow_sets:
                     yield from self._check_set_iteration(context, node)
 
     # -- imports --------------------------------------------------------------
 
     def _check_import_from(self, context: FileContext,
-                           node: ast.ImportFrom) -> "Iterator[Finding]":
+                           node: ast.ImportFrom,
+                           measurement: bool) -> "Iterator[Finding]":
         module = node.module or ""
         if module == "random":
             for alias in node.names:
@@ -103,7 +140,8 @@ class DeterminismRule(Rule):
                         f"seeded random.Random(seed) instead")
         elif module == "time":
             for alias in node.names:
-                if alias.name in _CLOCK_FUNCTIONS:
+                if alias.name in _CLOCK_FUNCTIONS and not \
+                        (measurement and alias.name in _PROFILING_CLOCKS):
                     yield self.finding(
                         context, node,
                         f"'from time import {alias.name}' reads the host "
@@ -127,8 +165,8 @@ class DeterminismRule(Rule):
 
     # -- calls ----------------------------------------------------------------
 
-    def _check_call(self, context: FileContext,
-                    node: ast.Call) -> "Iterator[Finding]":
+    def _check_call(self, context: FileContext, node: ast.Call,
+                    measurement: bool) -> "Iterator[Finding]":
         name = dotted_name(node.func)
         if name is None:
             return
@@ -141,7 +179,8 @@ class DeterminismRule(Rule):
                 f"random.{leaf}() draws from the unseeded module-level "
                 f"generator; use a random.Random(seed) instance")
         elif root == "time" and len(parts) == 2 and \
-                leaf in _CLOCK_FUNCTIONS:
+                leaf in _CLOCK_FUNCTIONS and not \
+                (measurement and leaf in _PROFILING_CLOCKS):
             yield self.finding(
                 context, node,
                 f"time.{leaf}() reads the host clock; runs must be "
@@ -151,6 +190,14 @@ class DeterminismRule(Rule):
                 context, node,
                 f"{name}() reads the host clock; runs must be "
                 f"reproducible per seed")
+        elif root == "os" and leaf == "getenv" and len(parts) == 2 and \
+                not measurement:
+            yield self.finding(
+                context, node,
+                "os.getenv() launders host state into the run; results "
+                "must be a function of config + seed -- route knobs "
+                "through explicit parameters (environment reads belong "
+                "in harness/, telemetry/, or benchmarks/)")
         elif root == "os" and leaf == "urandom" and len(parts) == 2:
             yield self.finding(
                 context, node,
@@ -175,6 +222,20 @@ class DeterminismRule(Rule):
                     f"{name}() draws from numpy's unseeded module-level "
                     f"generator; use a seeded Generator "
                     f"(numpy.random.default_rng(seed))")
+
+    # -- environment ----------------------------------------------------------
+
+    def _check_environ(self, context: FileContext,
+                       node: ast.Attribute) -> "Iterator[Finding]":
+        if node.attr == "environ" and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == "os":
+            yield self.finding(
+                context, node,
+                "os.environ launders host state into the run; results "
+                "must be a function of config + seed -- route knobs "
+                "through explicit parameters (environment reads belong "
+                "in harness/, telemetry/, or benchmarks/)")
 
     # -- set iteration --------------------------------------------------------
 

@@ -1,0 +1,198 @@
+"""Rule ``hot-path-alloc``: no per-call allocation on the data plane.
+
+Campaign-scale sweeps (ROADMAP: distributed campaigns, trace-replay
+backend) execute the per-access path millions of times per experiment;
+an allocation buried three calls below a :class:`MemView` accessor is
+invisible to per-file lint but multiplies into seconds of GC pressure
+per sweep point.  This rule walks the project call graph from a
+declared **data-plane root set** and flags every allocation-per-call
+construct reachable from it:
+
+* roots: every public :class:`~repro.mem.view.MemView` accessor, every
+  function of ``repro.traffic.flows`` / ``repro.traffic.arrivals`` (the
+  per-packet samplers), and every data-plane method (non-dunder, not
+  control-plane) of a ``NetBenchApp`` subclass;
+* flagged constructs: comprehensions and generator expressions,
+  f-strings with interpolation, ``dict()``/``list()``/``set()``/
+  ``tuple()``/``frozenset()``/``bytearray()`` constructor calls, and
+  closure creation (``lambda`` or nested ``def``);
+* exemptions: allocations inside ``raise`` and ``assert`` statements
+  (error paths execute at most once per experiment) and anything in the
+  observation/orchestration layers (``telemetry``, ``harness``,
+  ``oracle``), which are opt-in and off the replay fast lane.
+
+Setup code reached from a data-plane method should either move to
+``__init__``/``control_plane`` or carry an inline
+``# reprolint: disable=hot-path-alloc`` with a justification -- the
+suppression is the declaration that the allocation is intentional.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    FunctionInfo,
+    ProjectContext,
+    ProjectRule,
+    register_project,
+)
+from repro.analysis.rules.hygiene import CONTROL_PLANE_METHODS
+
+#: Modules whose top-level functions are all data-plane roots: the
+#: per-packet samplers every generated packet flows through.
+ROOT_MODULES = ("repro.traffic.flows", "repro.traffic.arrivals")
+
+#: (module, class) pairs whose public methods are data-plane roots.
+ROOT_CLASSES = (("repro.mem.view", "MemView"),)
+
+#: Base class whose subclasses carry per-packet handler methods.
+DATA_PLANE_BASE = "NetBenchApp"
+
+#: Layers excluded from the walk: observation and orchestration are
+#: opt-in, off the per-access replay fast lane by design (PR 1).
+_EXCLUDED_LAYERS = frozenset({"telemetry", "harness", "oracle",
+                              "analysis"})
+
+#: Constructor calls that allocate a fresh container per call.
+_ALLOCATING_BUILTINS = frozenset({
+    "dict", "list", "set", "tuple", "frozenset", "bytearray",
+})
+
+
+def _layer_of(module: str) -> str:
+    parts = module.split(".")
+    if len(parts) < 2 or parts[1].startswith("__"):
+        return "repro"
+    return parts[1]
+
+
+def _allocation_sites(function: FunctionInfo,
+                      ) -> "List[Tuple[ast.AST, str]]":
+    """(node, description) for every per-call allocation in a body.
+
+    ``raise``/``assert`` subtrees are exempt (error paths), and nested
+    function bodies are not descended into -- creating the closure is
+    itself the flagged allocation.
+    """
+    sites: "List[Tuple[ast.AST, str]]" = []
+    stack: "List[ast.AST]" = list(function.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            sites.append((node, f"nested def {node.name}() creates a "
+                                f"closure"))
+            continue
+        if isinstance(node, ast.Lambda):
+            sites.append((node, "lambda creates a closure"))
+            continue
+        if isinstance(node, ast.ListComp):
+            sites.append((node, "list comprehension allocates a list"))
+        elif isinstance(node, ast.SetComp):
+            sites.append((node, "set comprehension allocates a set"))
+        elif isinstance(node, ast.DictComp):
+            sites.append((node, "dict comprehension allocates a dict"))
+        elif isinstance(node, ast.GeneratorExp):
+            sites.append((node, "generator expression allocates a "
+                                "generator frame"))
+        elif isinstance(node, ast.JoinedStr):
+            if any(isinstance(value, ast.FormattedValue)
+                   for value in node.values):
+                sites.append((node, "f-string formats a new str"))
+            continue
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id in _ALLOCATING_BUILTINS:
+            sites.append((node, f"{node.func.id}() allocates a fresh "
+                                f"container"))
+        stack.extend(ast.iter_child_nodes(node))
+    return sites
+
+
+@register_project
+class HotPathAllocationRule(ProjectRule):
+    """Flag per-call allocations reachable from data-plane roots."""
+
+    id = "hot-path-alloc"
+    severity = "error"
+    short = ("no comprehensions, f-strings, container constructors, or "
+             "closures reachable from data-plane roots")
+    rationale = ("the per-access path runs millions of times per sweep "
+                 "point (ROADMAP campaign scale); a per-call allocation "
+                 "below a MemView accessor or packet handler multiplies "
+                 "into GC pressure per experiment")
+
+    def check_project(self,
+                      project: ProjectContext) -> "Iterator[Finding]":
+        roots = self._roots(project)
+        # BFS over the call graph, remembering which root reached each
+        # function first (for the message's provenance trail).
+        queue: "List[Tuple[str, str]]" = [(q, q) for q in sorted(roots)]
+        reached_from: "Dict[str, str]" = {}
+        while queue:
+            qualname, root = queue.pop(0)
+            if qualname in reached_from:
+                continue
+            function = project.functions.get(qualname)
+            if function is None:
+                continue
+            if qualname != root and not self._traversable(function):
+                continue
+            reached_from[qualname] = root
+            for edge in project.callees_of(qualname):
+                queue.append((edge.callee, root))
+        for qualname in sorted(reached_from):
+            function = project.functions[qualname]
+            root = reached_from[qualname]
+            origin = "" if root == qualname else \
+                f" (reachable from data-plane root {root})"
+            for node, description in sorted(
+                    _allocation_sites(function),
+                    key=lambda site: getattr(site[0], "lineno", 0)):
+                yield self.project_finding(
+                    project, function.path, node,
+                    f"{description} on the data-plane hot path in "
+                    f"{function.name}(){origin}; hoist it to "
+                    f"setup/control-plane or suppress with a "
+                    f"justification")
+
+    def _traversable(self, function: FunctionInfo) -> bool:
+        """Whether the walk may continue into this callee."""
+        if _layer_of(function.module) in _EXCLUDED_LAYERS:
+            return False
+        if function.name in CONTROL_PLANE_METHODS:
+            return False
+        if function.name.startswith("__") and \
+                function.name.endswith("__") and \
+                function.name != "__call__":
+            return False
+        return True
+
+    def _roots(self, project: ProjectContext) -> "Set[str]":
+        roots: "Set[str]" = set()
+        for module in ROOT_MODULES:
+            info = project.resolve_module(module)
+            if info is not None:
+                roots.update(f.qualname
+                             for f in info.functions.values())
+        for module, class_name in ROOT_CLASSES:
+            info = project.resolve_module(module)
+            if info is None:
+                continue
+            cls = info.classes.get(class_name)
+            if cls is None:
+                continue
+            roots.update(m.qualname for m in cls.methods.values()
+                         if not m.name.startswith("__"))
+        for cls in project.subclasses_of(DATA_PLANE_BASE):
+            for method in cls.methods.values():
+                if method.name in CONTROL_PLANE_METHODS:
+                    continue
+                if method.name.startswith("__"):
+                    continue
+                roots.add(method.qualname)
+        return roots

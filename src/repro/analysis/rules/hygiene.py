@@ -30,8 +30,10 @@ from typing import Iterator
 from repro.analysis.base import FileContext, Rule, register
 from repro.analysis.findings import Finding
 
-#: Methods allowed to mutate host-side state (construction/control plane).
-_CONTROL_PLANE_METHODS = frozenset({
+#: Methods allowed to mutate host-side state (construction/control
+#: plane).  Public: the project-scope ``hot-path-alloc`` rule shares
+#: this set as its setup-code exemption.
+CONTROL_PLANE_METHODS = frozenset({
     "__init__", "control_plane", "run_control_plane",
     "register_static_region",
 })
@@ -47,12 +49,21 @@ _MUTATING_METHODS = frozenset({
 _ALLOWED_HIERARCHY_ATTRS = frozenset({"inspect"})
 
 
-def _is_netbench_class(node: ast.ClassDef) -> bool:
+def _is_netbench_class(context: FileContext,
+                       node: ast.ClassDef) -> bool:
     for base in node.bases:
         if isinstance(base, ast.Name) and base.id == "NetBenchApp":
             return True
         if isinstance(base, ast.Attribute) and base.attr == "NetBenchApp":
             return True
+    # Under ``--project`` the class hierarchy is import-resolved, so a
+    # renamed base (``from repro.apps.base import NetBenchApp as App``)
+    # or an intermediate project base class still counts.
+    project = context.options.get("project")
+    if project is not None and context.module is not None:
+        qualname = f"{context.module}.{node.name}"
+        return any(cls.qualname == qualname
+                   for cls in project.subclasses_of("NetBenchApp"))
     return False
 
 
@@ -89,7 +100,8 @@ class SimulatedMemoryRule(Rule):
         if not module.startswith("repro.apps"):
             return
         for node in ast.walk(context.tree):
-            if isinstance(node, ast.ClassDef) and _is_netbench_class(node):
+            if isinstance(node, ast.ClassDef) and \
+                    _is_netbench_class(context, node):
                 yield from self._check_class(context, node)
         yield from self._check_hierarchy_access(context)
 
@@ -100,7 +112,7 @@ class SimulatedMemoryRule(Rule):
         for item in class_node.body:
             if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            if item.name in _CONTROL_PLANE_METHODS:
+            if item.name in CONTROL_PLANE_METHODS:
                 continue
             yield from self._check_data_plane_method(context, item)
 

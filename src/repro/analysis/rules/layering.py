@@ -15,6 +15,13 @@ this rule was written for: ``telemetry/report.py`` once lazily imported
 
 Lazy imports inside functions count: an upward import is an upward
 dependency no matter when it executes.
+
+Under ``--project`` the rule additionally resolves every ``repro.*``
+import target against the project symbol table: an import of a module
+that no longer exists (renamed, deleted) is a latent ImportError that
+per-file analysis cannot see.  The check only runs when the analysed
+tree contains the ``repro`` package root, so linting a subtree never
+produces resolution false positives.
 """
 
 from __future__ import annotations
@@ -125,12 +132,26 @@ class LayeringRule(Rule):
                 f"{source_layer!r}; add it to the layer DAG in "
                 f"repro/analysis/rules/layering.py")
             return
+        # Project-scope plumbing: with the whole tree analysed, every
+        # repro.* import target must resolve to a module that exists.
+        project = context.options.get("project")
+        if project is not None and \
+                project.resolve_module("repro") is None:
+            project = None  # subtree build: resolution would lie
         if source_layer == "repro":
             return
         for node in ast.walk(context.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
                 continue
             for target in _imported_repro_modules(context, node):
+                if project is not None and \
+                        project.resolve_module(target) is None:
+                    yield self.finding(
+                        context, node,
+                        f"imports {target}, which is not a module in "
+                        f"the analysed tree (moved or deleted?); fix "
+                        f"the import or the layer DAG")
+                    continue
                 target_layer = _layer_of(target)
                 if target_layer == source_layer:
                     continue

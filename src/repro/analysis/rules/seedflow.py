@@ -1,0 +1,710 @@
+"""Rule ``seed-provenance``: every RNG must be seeded *from a seed*.
+
+The per-file ``determinism`` rule guarantees randomness is drawn only
+from ``random.Random(...)`` / ``numpy.random.default_rng(...)``
+instances, but it cannot see what flows *into* the constructor: a
+helper ``def make_rng(n): return random.Random(n)`` passes the per-file
+check in its module while a caller feeds it ``len(packets)`` or
+``id(self)`` from another -- the RNG-laundering class that silently
+breaks bit-reproducibility (the un-audited-harness bias channel of
+Soyturk et al.).  This project rule runs a taint-style dataflow over
+the call graph asserting that every seed argument **derives from a
+config/scenario seed**:
+
+* an expression is *seed-derived* when some leaf of it is a parameter
+  or attribute named like a seed (``seed``, ``bit_seed``,
+  ``seed_offset``, ``scenario.seed``, ...), a literal constant (a fixed
+  seed is reproducible by definition), or a call to a project function
+  whose returned expression is itself seed-derived -- followed
+  interprocedurally through module boundaries, aliases, and lazy
+  imports;
+* when the seed expression bottoms out in a *non-seed parameter* of the
+  enclosing function, the requirement propagates to every resolvable
+  call site: each one must pass a seed-derived argument, and a site
+  that does not is reported *at the call site* (where the fix belongs);
+  a parameter with no resolvable call sites is reported at the
+  constructor, because nothing proves its provenance;
+* ``random.Random()`` with no argument is reported outright: it seeds
+  from OS entropy, the gap the per-file rule's safe-list leaves open;
+* ``hash(...)``/``id(...)`` anywhere in a seed expression are reported:
+  string hashing is salted per process and object ids are allocation
+  order, both nondeterministic across runs (use
+  ``repro.traffic.flows.mix64`` or explicit arithmetic instead).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    MODULE_BODY,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectContext,
+    ProjectRule,
+    register_project,
+)
+from repro.analysis.project import resolve_chain  # shared resolver
+
+#: Identifiers that *are* a seed by name (word-boundary on underscores).
+SEED_NAME_RE = re.compile(r"(^|_)seed(s|ing)?(_|$)", re.IGNORECASE)
+
+#: Calls that destroy provenance no matter their arguments.
+_TAINT_SINKS = frozenset({"hash", "id"})
+
+#: Maximum interprocedural recursion (down through helpers and up
+#: through call sites); cycles are cut by visited sets as well.
+_MAX_DEPTH = 6
+
+#: Classification lattice: SEED and CONST are acceptable provenance,
+#: PARAMS defers to call sites, BAD is a finding.
+_SEED, _CONST, _PARAMS, _BAD = "seed", "const", "params", "bad"
+
+
+def is_seed_name(name: str) -> bool:
+    """Whether an identifier names a seed (``seed``, ``bit_seed``...)."""
+    return SEED_NAME_RE.search(name) is not None
+
+
+@dataclass
+class _Verdict:
+    """Result of classifying one expression."""
+
+    kind: str
+    params: "Set[str]" = field(default_factory=set)
+    reason: str = ""
+
+    @staticmethod
+    def seed() -> "_Verdict":
+        return _Verdict(_SEED)
+
+    @staticmethod
+    def const() -> "_Verdict":
+        return _Verdict(_CONST)
+
+    @staticmethod
+    def bad(reason: str) -> "_Verdict":
+        return _Verdict(_BAD, reason=reason)
+
+
+def _combine(children: "List[_Verdict]") -> _Verdict:
+    """Taint-presence combination: one seed leaf taints the expression.
+
+    Mixing a seed with constants (``seed ^ 0x5EED``, f-strings) keeps
+    provenance; any unprovable leaf without a seed alongside loses it.
+    """
+    if any(child.kind == _SEED for child in children):
+        return _Verdict.seed()
+    for child in children:
+        if child.kind == _BAD:
+            return child
+    params: "Set[str]" = set()
+    for child in children:
+        params.update(child.params)
+    if params:
+        return _Verdict(_PARAMS, params=params)
+    return _Verdict.const()
+
+
+@dataclass
+class _Env:
+    """Name-resolution environment of one function or module body."""
+
+    info: ModuleInfo
+    function: "Optional[FunctionInfo]"
+    params: "Tuple[str, ...]"
+    assigns: "Dict[str, ast.expr]"
+    local_imports: "Dict[str, str]"
+
+    @property
+    def qualname(self) -> str:
+        if self.function is not None:
+            return self.function.qualname
+        return f"{self.info.module}.{MODULE_BODY}"
+
+
+def _local_assignments(body: "List[ast.stmt]") -> "Dict[str, ast.expr]":
+    """First-assignment map of simple ``name = expr`` statements."""
+    assigns: "Dict[str, ast.expr]" = {}
+    for node in body:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign) and \
+                    len(child.targets) == 1 and \
+                    isinstance(child.targets[0], ast.Name):
+                assigns.setdefault(child.targets[0].id, child.value)
+            elif isinstance(child, ast.AnnAssign) and \
+                    child.value is not None and \
+                    isinstance(child.target, ast.Name):
+                assigns.setdefault(child.target.id, child.value)
+    return assigns
+
+
+def _local_imports(context_module: ModuleInfo,
+                   project: ProjectContext,
+                   body: "List[ast.stmt]") -> "Dict[str, str]":
+    """Alias table of lazy imports inside a function body."""
+    from repro.analysis.project import collect_imports
+    table: "Dict[str, str]" = {}
+    file_context = project.files.get(context_module.path)
+    if file_context is None:
+        return table
+    imports = [node for node in ast.walk(ast.Module(body=body,
+                                                    type_ignores=[]))
+               if isinstance(node, (ast.Import, ast.ImportFrom))]
+    collect_imports(file_context, imports, table)
+    return table
+
+
+def _module_assignment(info: ModuleInfo,
+                       name: str) -> "Optional[ast.expr]":
+    """The value expression of a top-level ``name = ...`` binding."""
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id == name:
+            return node.value
+    return None
+
+
+@register_project
+class SeedProvenanceRule(ProjectRule):
+    """Interprocedural taint: RNG seeds must derive from seed params."""
+
+    id = "seed-provenance"
+    severity = "error"
+    short = ("every random.Random/default_rng seed must derive from a "
+             "config/scenario seed, through helpers")
+    rationale = ("an RNG laundered through a helper defeats the "
+                 "per-file determinism rule; fault/energy curves are "
+                 "only reproducible when all randomness flows from "
+                 "explicit seeds (paper Section 2 golden comparison)")
+
+    def check_project(self,
+                      project: ProjectContext) -> "Iterator[Finding]":
+        self._env_cache: "Dict[str, _Env]" = {}
+        for info in project.modules.values():
+            if not info.module.startswith("repro"):
+                continue
+            yield from self._check_module(project, info)
+
+    # -- environments -------------------------------------------------------
+
+    def _env_for(self, project: ProjectContext,
+                 qualname: str) -> "Optional[_Env]":
+        cached = self._env_cache.get(qualname)
+        if cached is not None:
+            return cached
+        env: "Optional[_Env]" = None
+        if qualname.endswith(f".{MODULE_BODY}"):
+            module = qualname[:-len(MODULE_BODY) - 1]
+            info = project.resolve_module(module)
+            if info is not None:
+                env = _Env(info=info, function=None, params=(),
+                           assigns=_local_assignments(info.tree.body),
+                           local_imports={})
+        else:
+            function = project.functions.get(qualname)
+            if function is not None:
+                info = project.resolve_module(function.module)
+                if info is not None:
+                    params = function.params
+                    if function.is_method and params and \
+                            params[0] in ("self", "cls"):
+                        params = params[1:]
+                    env = _Env(
+                        info=info, function=function, params=params,
+                        assigns=_local_assignments(
+                            list(function.node.body)),
+                        local_imports=_local_imports(
+                            info, project, list(function.node.body)))
+        if env is not None:
+            self._env_cache[qualname] = env
+        return env
+
+    # -- detection ----------------------------------------------------------
+
+    def _check_module(self, project: ProjectContext,
+                      info: ModuleInfo) -> "Iterator[Finding]":
+        owners: "List[str]" = [f"{info.module}.{MODULE_BODY}"]
+        owners.extend(f.qualname for f in info.functions.values())
+        for cls in info.classes.values():
+            owners.extend(m.qualname for m in cls.methods.values())
+        for owner in owners:
+            env = self._env_for(project, owner)
+            if env is None:
+                continue
+            if env.function is not None:
+                body: "List[ast.stmt]" = list(env.function.node.body)
+                prune = False
+            else:
+                body = list(env.info.tree.body)
+                prune = True
+            for node in _owned_calls(body, prune):
+                yield from self._check_rng_call(project, env, node)
+
+    def _rng_kind(self, env: _Env, node: ast.Call) -> "Optional[str]":
+        """'random'/'numpy' when this call constructs an RNG."""
+        parts: "List[str]" = []
+        current: ast.AST = node.func
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        dotted = ".".join(parts)
+        leaf = parts[-1]
+        if dotted == "random.Random":
+            return "random"
+        if leaf == "Random" and len(parts) == 1:
+            target = env.local_imports.get("Random",
+                                           env.info.imports.get("Random"))
+            if target == "random.Random":
+                return "random"
+        if leaf in ("default_rng", "RandomState"):
+            if len(parts) >= 2 and parts[-2] == "random":
+                return "numpy"
+            if len(parts) == 1:
+                target = env.local_imports.get(
+                    leaf, env.info.imports.get(leaf, ""))
+                if target and target.endswith(f"random.{leaf}"):
+                    return "numpy"
+        return None
+
+    def _seed_argument(self, node: ast.Call) -> "Optional[ast.expr]":
+        if node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Starred):
+                return None
+            return first
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                return keyword.value
+        return None
+
+    def _check_rng_call(self, project: ProjectContext, env: _Env,
+                        node: ast.Call) -> "Iterator[Finding]":
+        kind = self._rng_kind(env, node)
+        if kind is None:
+            return
+        seed_expr = self._seed_argument(node)
+        if seed_expr is None:
+            if kind == "random" and not node.keywords:
+                yield self.project_finding(
+                    project, env.info.path, node,
+                    "random.Random() without a seed draws OS entropy; "
+                    "pass a seed derived from the config/scenario seed")
+            # Argless numpy constructors are the determinism rule's
+            # finding; star-args are unresolvable (none in the tree).
+            return
+        verdict = self._classify(project, env, seed_expr,
+                                 _MAX_DEPTH, set(), set())
+        if verdict.kind in (_SEED, _CONST):
+            return
+        if verdict.kind == _BAD:
+            yield self.project_finding(
+                project, env.info.path, node,
+                f"RNG seed does not derive from a config/scenario "
+                f"seed ({verdict.reason}); thread an explicit seed "
+                f"parameter through the call chain")
+            return
+        # PARAMS: the seed bottoms out in non-seed parameters of the
+        # enclosing function -- verify every resolvable call site.
+        yield from self._check_call_sites(
+            project, env, node, verdict.params, _MAX_DEPTH,
+            set())
+
+    # -- expression classification ------------------------------------------
+
+    def _classify(self, project: ProjectContext, env: _Env,
+                  expr: ast.expr, depth: int,
+                  seen_names: "Set[str]",
+                  seen_functions: "Set[str]") -> _Verdict:
+        if depth <= 0:
+            return _Verdict.bad("interprocedural depth limit reached")
+        if isinstance(expr, ast.Constant):
+            return _Verdict.const()
+        if isinstance(expr, ast.Name):
+            return self._classify_name(project, env, expr, depth,
+                                       seen_names, seen_functions)
+        if isinstance(expr, ast.Attribute):
+            if is_seed_name(expr.attr):
+                return _Verdict.seed()
+            resolved = self._classify_qualified(project, env, expr,
+                                                depth, seen_functions)
+            if resolved is not None:
+                return resolved
+            return _Verdict.bad(
+                f"attribute '{expr.attr}' is not seed-named")
+        if isinstance(expr, ast.Subscript):
+            index = expr.slice
+            if isinstance(index, ast.Constant) and \
+                    isinstance(index.value, str) and \
+                    is_seed_name(index.value):
+                return _Verdict.seed()
+            return _Verdict.bad("subscript is not a seed lookup")
+        if isinstance(expr, ast.Call):
+            return self._classify_call(project, env, expr, depth,
+                                       seen_names, seen_functions)
+        if isinstance(expr, ast.JoinedStr):
+            children = [self._classify(project, env, value.value, depth,
+                                       seen_names, seen_functions)
+                        for value in expr.values
+                        if isinstance(value, ast.FormattedValue)]
+            if not children:
+                return _Verdict.const()
+            return _combine(children)
+        if isinstance(expr, (ast.BinOp,)):
+            return _combine([
+                self._classify(project, env, expr.left, depth,
+                               seen_names, seen_functions),
+                self._classify(project, env, expr.right, depth,
+                               seen_names, seen_functions)])
+        if isinstance(expr, ast.UnaryOp):
+            return self._classify(project, env, expr.operand, depth,
+                                  seen_names, seen_functions)
+        if isinstance(expr, ast.BoolOp):
+            return _combine([self._classify(project, env, value, depth,
+                                            seen_names, seen_functions)
+                             for value in expr.values])
+        if isinstance(expr, ast.IfExp):
+            return _combine([
+                self._classify(project, env, expr.body, depth,
+                               seen_names, seen_functions),
+                self._classify(project, env, expr.orelse, depth,
+                               seen_names, seen_functions)])
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return _combine([self._classify(project, env, element,
+                                            depth, seen_names,
+                                            seen_functions)
+                             for element in expr.elts])
+        return _Verdict.bad(
+            f"unanalyzable {type(expr).__name__} expression")
+
+    def _classify_name(self, project: ProjectContext, env: _Env,
+                       expr: ast.Name, depth: int,
+                       seen_names: "Set[str]",
+                       seen_functions: "Set[str]") -> _Verdict:
+        name = expr.id
+        if name in env.params:
+            if is_seed_name(name):
+                return _Verdict.seed()
+            return _Verdict(_PARAMS, params={name})
+        if name in seen_names:
+            return _Verdict.bad(f"circular binding of '{name}'")
+        if name in env.assigns:
+            return self._classify(project, env, env.assigns[name],
+                                  depth - 1, seen_names | {name},
+                                  seen_functions)
+        if is_seed_name(name):
+            # A seed-named module constant or closure binding.
+            return _Verdict.seed()
+        value = _module_assignment(env.info, name)
+        if value is not None:
+            module_env = self._env_for(
+                project, f"{env.info.module}.{MODULE_BODY}")
+            if module_env is not None:
+                return self._classify(project, module_env, value,
+                                      depth - 1, seen_names | {name},
+                                      seen_functions)
+        resolved = self._classify_imported(project, env, name, depth,
+                                           seen_names, seen_functions)
+        if resolved is not None:
+            return resolved
+        return _Verdict.bad(f"'{name}' has no seed provenance")
+
+    def _classify_imported(self, project: ProjectContext, env: _Env,
+                           name: str, depth: int,
+                           seen_names: "Set[str]",
+                           seen_functions: "Set[str]",
+                           ) -> "Optional[_Verdict]":
+        """Classify a name imported from another project module."""
+        target = env.local_imports.get(name, env.info.imports.get(name))
+        if target is None or "." not in target:
+            return None
+        module, _, attribute = target.rpartition(".")
+        info = project.resolve_module(module)
+        if info is None:
+            return None
+        value = _module_assignment(info, attribute)
+        if value is None:
+            return None
+        module_env = self._env_for(project,
+                                   f"{info.module}.{MODULE_BODY}")
+        if module_env is None:
+            return None
+        return self._classify(project, module_env, value, depth - 1,
+                              seen_names, seen_functions)
+
+    def _classify_qualified(self, project: ProjectContext, env: _Env,
+                            expr: ast.Attribute, depth: int,
+                            seen_functions: "Set[str]",
+                            ) -> "Optional[_Verdict]":
+        """Classify dotted constants like ``constants.DEFAULT_SEED``."""
+        parts: "List[str]" = []
+        current: ast.AST = expr
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        head = env.local_imports.get(current.id,
+                                     env.info.imports.get(current.id))
+        if head is None:
+            return None
+        parts.reverse()
+        module = head + ("." + ".".join(parts[:-1]) if len(parts) > 1
+                         else "")
+        info = project.resolve_module(module) or \
+            project.resolve_module(head)
+        if info is None:
+            return None
+        value = _module_assignment(info, parts[-1])
+        if value is None:
+            return None
+        module_env = self._env_for(project,
+                                   f"{info.module}.{MODULE_BODY}")
+        if module_env is None:
+            return None
+        return self._classify(project, module_env, value, depth - 1,
+                              set(), seen_functions)
+
+    def _classify_call(self, project: ProjectContext, env: _Env,
+                       expr: ast.Call, depth: int,
+                       seen_names: "Set[str]",
+                       seen_functions: "Set[str]") -> _Verdict:
+        parts: "List[str]" = []
+        current: ast.AST = expr.func
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+            parts.reverse()
+            if parts[-1] in _TAINT_SINKS and len(parts) == 1:
+                return _Verdict.bad(
+                    f"{parts[-1]}() is nondeterministic across runs "
+                    f"(use mix64/arithmetic on the seed instead)")
+            resolved = None
+            if parts[0] not in ("self", "cls"):
+                resolved = resolve_chain(project, env.info,
+                                          env.local_imports, parts)
+            if resolved is not None and resolved in project.functions:
+                if resolved in seen_functions:
+                    return _Verdict.bad(
+                        f"recursive helper {parts[-1]}()")
+                return self._classify_helper_call(
+                    project, env, expr, project.functions[resolved],
+                    depth, seen_names, seen_functions | {resolved})
+        # Unresolved call (int(), str(), mix64 via *, methods):
+        # provenance is the combination of its arguments.
+        arguments = [arg for arg in expr.args
+                     if not isinstance(arg, ast.Starred)]
+        arguments.extend(keyword.value for keyword in expr.keywords
+                         if keyword.arg is not None)
+        if not arguments:
+            return _Verdict.bad("call with no seed-bearing arguments")
+        return _combine([self._classify(project, env, argument, depth,
+                                        seen_names, seen_functions)
+                         for argument in arguments])
+
+    def _classify_helper_call(self, project: ProjectContext, env: _Env,
+                              call: ast.Call, helper: FunctionInfo,
+                              depth: int, seen_names: "Set[str]",
+                              seen_functions: "Set[str]") -> _Verdict:
+        """Classify a call to a project helper by its return values."""
+        helper_env = self._env_for(project, helper.qualname)
+        if helper_env is None:
+            return _Verdict.bad(
+                f"helper {helper.name}() is unanalyzable")
+        returns = [node.value for node in ast.walk(helper.node)
+                   if isinstance(node, ast.Return)
+                   and node.value is not None]
+        if not returns:
+            return _Verdict.bad(f"helper {helper.name}() returns None")
+        verdicts: "List[_Verdict]" = []
+        for value in returns:
+            verdict = self._classify(project, helper_env, value,
+                                     depth - 1, set(), seen_functions)
+            if verdict.kind == _PARAMS:
+                verdict = self._map_params_through_call(
+                    project, env, call, helper, verdict.params,
+                    depth - 1, seen_names, seen_functions)
+            verdicts.append(verdict)
+        for verdict in verdicts:
+            if verdict.kind == _BAD:
+                return verdict
+        return _combine(verdicts)
+
+    def _map_params_through_call(self, project: ProjectContext,
+                                 env: _Env, call: ast.Call,
+                                 helper: FunctionInfo,
+                                 names: "Set[str]", depth: int,
+                                 seen_names: "Set[str]",
+                                 seen_functions: "Set[str]",
+                                 ) -> _Verdict:
+        mapping = _bind_arguments(call, helper)
+        if mapping is None:
+            return _Verdict.bad(
+                f"cannot bind arguments of {helper.name}()")
+        verdicts: "List[_Verdict]" = []
+        for name in sorted(names):
+            actual = mapping.get(name)
+            if actual is None:
+                actual = _default_for(helper, name)
+                if actual is None:
+                    return _Verdict.bad(
+                        f"argument {name!r} of {helper.name}() is "
+                        f"unbound")
+                helper_env = self._env_for(project, helper.qualname)
+                if helper_env is None:
+                    return _Verdict.bad(
+                        f"helper {helper.name}() is unanalyzable")
+                verdicts.append(self._classify(
+                    project, helper_env, actual, depth, set(),
+                    seen_functions))
+                continue
+            verdicts.append(self._classify(project, env, actual, depth,
+                                           seen_names, seen_functions))
+        for verdict in verdicts:
+            if verdict.kind == _BAD:
+                return verdict
+        return _combine(verdicts)
+
+    # -- interprocedural call-site verification -----------------------------
+
+    def _check_call_sites(self, project: ProjectContext, env: _Env,
+                          rng_call: ast.Call, names: "Set[str]",
+                          depth: int,
+                          visited: "Set[Tuple[str, str]]",
+                          ) -> "Iterator[Finding]":
+        function = env.function
+        if function is None:
+            return
+        rng_line = getattr(rng_call, "lineno", 1)
+        key_base = function.qualname
+        sites = [edge for edge in project.callers_of(function.qualname)
+                 if edge.kind in ("static", "self")]
+        if not sites or depth <= 0:
+            yield self.project_finding(
+                project, env.info.path, rng_call,
+                f"cannot establish seed provenance of parameter(s) "
+                f"{', '.join(sorted(names))} of {function.name}(): "
+                f"no resolvable call sites pass a seed")
+            return
+        for edge in sites:
+            mapping = _bind_arguments(edge.node, function)
+            caller_env = self._env_for(project, edge.caller)
+            for name in sorted(names):
+                key = (f"{key_base}.{name}", edge.caller)
+                if key in visited:
+                    continue
+                visited.add(key)
+                actual = mapping.get(name) if mapping is not None \
+                    else None
+                if actual is None:
+                    default = _default_for(function, name)
+                    if default is not None:
+                        verdict = self._classify(project, env, default,
+                                                 depth - 1, set(),
+                                                 set())
+                    else:
+                        verdict = _Verdict.bad(
+                            f"argument {name!r} is unbound at this "
+                            f"call site")
+                elif caller_env is None:
+                    verdict = _Verdict.bad(
+                        "caller environment is unanalyzable")
+                else:
+                    verdict = self._classify(project, caller_env,
+                                             actual, depth - 1, set(),
+                                             set())
+                if verdict.kind in (_SEED, _CONST):
+                    continue
+                if verdict.kind == _PARAMS and caller_env is not None:
+                    yield from self._check_call_sites(
+                        project, caller_env, rng_call, verdict.params,
+                        depth - 1, visited)
+                    continue
+                yield self.project_finding(
+                    project, edge.path, edge.node,
+                    f"passes non-seed argument for parameter "
+                    f"{name!r} of {function.name}() (line {rng_line} "
+                    f"of {env.info.path} seeds an RNG from it); "
+                    f"derive the value from the config/scenario seed")
+
+
+def _owned_calls(body: "List[ast.stmt]",
+                 prune: bool) -> "Iterator[ast.Call]":
+    """Call expressions owned by a scope's body.
+
+    With ``prune`` (module scope), nested function bodies are skipped --
+    they are visited under their own qualname with the right parameter
+    environment -- but decorators and default expressions still belong
+    to the enclosing scope and are walked.  Class bodies are descended
+    into (class-attribute RNGs execute at import time); their methods
+    are pruned the same way.
+    """
+    stack: "List[ast.AST]" = list(body)
+    while stack:
+        node = stack.pop()
+        if prune and isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+            stack.extend(node.decorator_list)
+            stack.extend(node.args.defaults)
+            stack.extend(default for default in node.args.kw_defaults
+                         if default is not None)
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _bind_arguments(call: "ast.AST", function: FunctionInfo,
+                    ) -> "Optional[Dict[str, ast.expr]]":
+    """Map a call's arguments onto ``function``'s parameter names.
+
+    Call-graph edges synthesized for bare decorators carry no ``Call``
+    node; their argument binding is unresolvable.
+    """
+    if not isinstance(call, ast.Call):
+        return None
+    params = list(function.params)
+    if function.is_method and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    mapping: "Dict[str, ast.expr]" = {}
+    for index, argument in enumerate(call.args):
+        if isinstance(argument, ast.Starred):
+            return None
+        if index < len(params):
+            mapping[params[index]] = argument
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            return None
+        mapping[keyword.arg] = keyword.value
+    return mapping
+
+
+def _default_for(function: FunctionInfo,
+                 name: str) -> "Optional[ast.expr]":
+    """The default-value expression of parameter ``name``, if any."""
+    args = function.node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    offset = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        if arg.arg == name and index >= offset:
+            return defaults[index - offset]
+    for index, arg in enumerate(args.kwonlyargs):
+        if arg.arg == name and args.kw_defaults[index] is not None:
+            return args.kw_defaults[index]
+    return None

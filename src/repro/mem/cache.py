@@ -16,10 +16,14 @@ into a fatal error).
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 
 from repro.mem.backing import BackingStore
 from repro.mem.errors import StraddlingAccessError
+
+#: LRU victim key, hoisted so eviction does not build a closure per miss.
+_LINE_LAST_USE = operator.attrgetter("last_use")
 
 
 @dataclass
@@ -122,6 +126,12 @@ class Cache:
         # and strike events belong to the hierarchy, which knows why an
         # invalidation happened.
         self._tracer: "object | None" = None
+        # Counter keys precomputed once: bump sites sit on the per-access
+        # hot path and must not format strings per event.
+        self._counter_evictions = f"{name}.evictions"
+        self._counter_writebacks = f"{name}.writebacks"
+        self._counter_fills = f"{name}.fills"
+        self._counter_invalidations = f"{name}.invalidations"
 
     def attach_tracer(self, tracer: "object | None") -> None:
         """Route this cache's line-traffic counters to a tracer."""
@@ -168,13 +178,13 @@ class Cache:
         ways = self.sets[set_index]
         if len(ways) < self.associativity:
             return
-        victim = min(ways, key=lambda line: line.last_use)
+        victim = min(ways, key=_LINE_LAST_USE)
         ways.remove(victim)
         self.stats.evictions += 1
         if self._tracer is not None and self._tracer.enabled:
-            self._tracer.counters.bump(f"{self.name}.evictions")
+            self._tracer.counters.bump(self._counter_evictions)
             if victim.dirty:
-                self._tracer.counters.bump(f"{self.name}.writebacks")
+                self._tracer.counters.bump(self._counter_writebacks)
         if victim.dirty:
             self.stats.writebacks += 1
             victim_address = (
@@ -186,12 +196,12 @@ class Cache:
     def _fill(self, line_address: int) -> CacheLine:
         set_index = self._set_index(line_address)
         self._evict_if_needed(set_index)
-        data = bytearray(self._lower_read_line(line_address))
+        data = bytearray(self._lower_read_line(line_address))  # reprolint: disable=hot-path-alloc (the line's backing store itself; one allocation per fill by design)
         line = CacheLine(tag=self._tag(line_address), data=data,
                          last_use=self.clock)
         self.sets[set_index].append(line)
         if self._tracer is not None and self._tracer.enabled:
-            self._tracer.counters.bump(f"{self.name}.fills")
+            self._tracer.counters.bump(self._counter_fills)
         if self._on_fill is not None:
             self._on_fill(line_address)
         return line
@@ -283,7 +293,7 @@ class Cache:
         self.sets[set_index].remove(line)
         self.stats.invalidations += 1
         if self._tracer is not None and self._tracer.enabled:
-            self._tracer.counters.bump(f"{self.name}.invalidations")
+            self._tracer.counters.bump(self._counter_invalidations)
         return True
 
     def flush(self) -> None:

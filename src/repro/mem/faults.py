@@ -141,7 +141,7 @@ class FaultInjector:
         # DESIGN.md, "Substitutions"); a per-bit reading over-counts by the
         # access width and is inconsistent with Table I's fallibility band.
         single, double, triple = self.model.multiplicity_probabilities(cycle_time)
-        scaled = tuple(min(p * self.scale, 1.0)
+        scaled = tuple(min(p * self.scale, 1.0)  # reprolint: disable=hot-path-alloc (memoised in self._thresholds; computed once per cycle_time)
                        for p in (single, double, triple))
         self._thresholds[key] = scaled
         return scaled
@@ -177,7 +177,7 @@ class FaultInjector:
         else:
             flips = 1
             self.stats.single_bit += 1
-        positions = tuple(self._rng.sample(range(bits), k=min(flips, bits)))
+        positions = tuple(self._rng.sample(range(bits), k=min(flips, bits)))  # reprolint: disable=hot-path-alloc (fault path only; the fault-free fast lane returned None above)
         return FaultEvent(bit_positions=positions)
 
     def record_kind(self, is_write: bool) -> None:
@@ -311,7 +311,7 @@ class GeometricFaultInjector(FaultInjector):
         else:
             flips = 1
             self.stats.single_bit += 1
-        positions = tuple(self._rng.sample(range(bits), k=min(flips, bits)))
+        positions = tuple(self._rng.sample(range(bits), k=min(flips, bits)))  # reprolint: disable=hot-path-alloc (fault path only; the fault-free fast lane returned None above)
         self._reschedule(cycle_time)
         return FaultEvent(bit_positions=positions)
 

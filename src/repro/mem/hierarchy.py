@@ -84,6 +84,10 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.tracer import NULL_TRACER
 
+#: Shared empty corruption set: ``dict.get`` defaults on the per-access
+#: path must not allocate a fresh frozenset per word.
+_NO_BITS: "frozenset[int]" = frozenset()
+
 
 def _garbage_value(address: int, length: int) -> int:
     """Deterministic pseudo-garbage for a straddling (misaligned) load.
@@ -323,7 +327,7 @@ class MemoryHierarchy:
 
     def _drop_corruption_in_line(self, line_address: int) -> None:
         end = line_address + self.l1d.line_size
-        stale = [word for word in self.corruption
+        stale = [word for word in self.corruption  # reprolint: disable=hot-path-alloc (scrub path: runs only after detected corruption, not per access)
                  if line_address <= word < end]
         for word in stale:
             del self.corruption[word]
@@ -346,10 +350,13 @@ class MemoryHierarchy:
             is_write, self._cycle_time, code=self.policy.code)
 
     @staticmethod
-    def _covered_words(address: int, length: int) -> "tuple[int, ...]":
+    def _covered_words(address: int, length: int) -> range:
+        # Returns the range itself (re-iterable, O(1) to build): this
+        # runs per access, and materialising a tuple here was a
+        # measurable hot-path allocation.
         first = address & ~3
         last = (address + length - 1) & ~3
-        return tuple(range(first, last + 4, 4))
+        return range(first, last + 4, 4)
 
     @staticmethod
     def _map_flips(address: int, positions: "tuple[int, ...]",
@@ -360,8 +367,8 @@ class MemoryHierarchy:
             byte_address = address + position // 8
             word = byte_address & ~3
             word_bit = (byte_address - word) * 8 + position % 8
-            by_word.setdefault(word, set()).add(word_bit)
-        return {word: frozenset(bits) for word, bits in by_word.items()}
+            by_word.setdefault(word, set()).add(word_bit)  # reprolint: disable=hot-path-alloc (fault path: reached only when an injector event fired)
+        return {word: frozenset(bits) for word, bits in by_word.items()}  # reprolint: disable=hot-path-alloc (fault path: reached only when an injector event fired)
 
     def _combined_corruption(self, address: int, length: int,
                              read_flips: "dict[int, frozenset[int]]",
@@ -369,8 +376,8 @@ class MemoryHierarchy:
         """Stored XOR in-flight corruption per covered word (non-empty only)."""
         combined = {}
         for word in self._covered_words(address, length):
-            mixture = (self.corruption.get(word, frozenset())
-                       ^ read_flips.get(word, frozenset()))
+            mixture = (self.corruption.get(word, _NO_BITS)
+                       ^ read_flips.get(word, _NO_BITS))
             if mixture:
                 combined[word] = mixture
         return combined
@@ -427,9 +434,9 @@ class MemoryHierarchy:
             self.undetected_corruptions += 1
             return value, "clean"
         # SEC-DED: double-bit words dominate (uncorrectable, detected).
-        if any(len(bits) == 2 for bits in combined.values()):
+        if any(len(bits) == 2 for bits in combined.values()):  # reprolint: disable=hot-path-alloc (corruption path: combined is non-empty only after a fault)
             return value, "detected"
-        if any(len(bits) >= 3 for bits in combined.values()):
+        if any(len(bits) >= 3 for bits in combined.values()):  # reprolint: disable=hot-path-alloc (corruption path: combined is non-empty only after a fault)
             # Triple and heavier corruption aliases (possibly miscorrects);
             # it flows through silently.
             self.undetected_corruptions += 1
@@ -584,7 +591,7 @@ class MemoryHierarchy:
         for word in words:
             # Check bits are regenerated per word at write time from the
             # intended value, so tracking reflects only this write.
-            bits = flip_map.get(word, frozenset())
+            bits = flip_map.get(word, _NO_BITS)
             if bits:
                 self.corruption[word] = bits
             else:

@@ -22,6 +22,7 @@ given (mode, apps, fuzz seed/budget).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Callable
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import policy_by_name
@@ -141,7 +142,8 @@ def run_check(mode: str = "quick",
               fuzz_budget: "int | None" = None,
               fuzz_seed: int = 0,
               corpus_dir: "str | None" = None,
-              progress: "object | None" = None) -> OracleReport:
+              progress: "Callable[[str], None] | None" = None,
+              ) -> OracleReport:
     """Run the three oracle mechanisms; see the module docstring.
 
     ``fuzz_budget`` of 0 skips the fuzz stage entirely (``None`` uses

@@ -44,6 +44,7 @@ from repro.harness.stats import (
     ks_two_sample_statistic,
 )
 from repro.harness.store import ResultStore
+from repro.telemetry.metrics import CounterSet
 
 #: The execution-path pairs ``run_differential`` exercises, in order.
 DIFFERENTIAL_PATHS = ("workers", "cache", "injector")
@@ -234,7 +235,7 @@ def run_differential(config: ExperimentConfig,
                      seeds: "tuple[int, ...]" = (7, 11, 23),
                      workers: int = 2,
                      paths: "tuple[str, ...]" = DIFFERENTIAL_PATHS,
-                     counters: "object | None" = None,
+                     counters: "CounterSet | None" = None,
                      ) -> "list[Divergence]":
     """Run every requested twin for one config; empty list = all agree.
 

@@ -22,6 +22,7 @@ import json
 import os
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import policy_by_name
@@ -29,9 +30,15 @@ from repro.harness.config import ExperimentConfig
 from repro.harness.experiment import run_experiment
 from repro.mem.faults import INJECTOR_NAMES
 from repro.oracle.invariants import check_invariants, per_result_invariant_ids
+from repro.telemetry.metrics import CounterSet
 
 #: Schema tag stamped into corpus entries so stale files fail loudly.
 CORPUS_SCHEMA = "repro-oracle-fuzz-v1"
+
+#: A failure probe: config in, rendered violation messages out (empty =
+#: the config passes).  :func:`invariant_probe` is the default; meta-
+#: tests substitute their own to seed defects.
+Probe = Callable[[ExperimentConfig], "tuple[str, ...]"]
 
 #: The fuzzable axes.  Every combination is a *valid* config by
 #: construction (``build_config`` never trips ``__post_init__``
@@ -112,9 +119,9 @@ def invariant_probe(config: ExperimentConfig) -> "tuple[str, ...]":
     return tuple(violation.render() for violation in violations)
 
 
-def shrink_config(choices: "dict[str, int]", probe,
+def shrink_config(choices: "dict[str, int]", probe: Probe,
                   space: "dict[str, tuple] | None" = None,
-                  counters: "object | None" = None,
+                  counters: "CounterSet | None" = None,
                   ) -> "dict[str, int]":
     """Greedily walk a failing config toward all-benign axis settings.
 
@@ -192,8 +199,8 @@ class ConfigFuzzer:
 
     def __init__(self, seed: int = 0,
                  space: "dict[str, tuple] | None" = None,
-                 probe=None,
-                 counters: "object | None" = None) -> None:
+                 probe: "Probe | None" = None,
+                 counters: "CounterSet | None" = None) -> None:
         self.seed = seed
         self.space = dict(CONFIG_SPACE if space is None else space)
         self.probe = invariant_probe if probe is None else probe
@@ -261,8 +268,9 @@ class ConfigFuzzer:
 
 def run_fuzz(budget: int, seed: int = 0,
              apps: "tuple[str, ...] | None" = None,
-             probe=None, corpus_dir: "str | None" = None,
-             counters: "object | None" = None,
+             probe: "Probe | None" = None,
+             corpus_dir: "str | None" = None,
+             counters: "CounterSet | None" = None,
              shrink: bool = True) -> FuzzReport:
     """One seeded fuzz run over (optionally app-restricted) CONFIG_SPACE."""
     fuzzer = ConfigFuzzer(seed=seed, space=_space_with_apps(apps),
@@ -270,7 +278,7 @@ def run_fuzz(budget: int, seed: int = 0,
     return fuzzer.run(budget, shrink=shrink, corpus_dir=corpus_dir)
 
 
-def replay_corpus_entry(path: str, probe=None,
+def replay_corpus_entry(path: str, probe: "Probe | None" = None,
                         ) -> "tuple[ExperimentConfig, tuple[str, ...]]":
     """Re-run one filed corpus entry; returns (config, failure messages).
 

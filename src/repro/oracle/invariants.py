@@ -41,6 +41,7 @@ from repro.core.fault_model import FaultModel
 from repro.core.frequency import FrequencyLadder
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiment import ExperimentResult
+from repro.telemetry.metrics import CounterSet
 
 #: One-sided rejection threshold, in combined standard errors, for the
 #: stochastic monotonicity invariants.  4 sigma keeps the per-comparison
@@ -106,7 +107,7 @@ def register_invariant(cls: "Type[Invariant]") -> "Type[Invariant]":
 
 def check_invariants(results: "list[ExperimentResult]",
                      only: "tuple[str, ...] | None" = None,
-                     counters: "object | None" = None,
+                     counters: "CounterSet | None" = None,
                      ) -> "list[Violation]":
     """Run every registered invariant (or the ``only`` subset) over results.
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator
 
 from repro.net.packet import Packet
+from repro.telemetry.metrics import CounterSet
 from repro.traffic.arrivals import (
     constant_arrivals,
     onoff_arrivals,
@@ -64,6 +65,10 @@ class TimedPacket:
     packet: Packet
 
 
+#: A generator factory: (scenario, merged params, seeded rng) -> stream.
+BuildFn = Callable[["Scenario", dict, random.Random], Iterator["TimedPacket"]]
+
+
 @dataclass(frozen=True)
 class GeneratorSpec:
     """One registered generator: name, parameter defaults, factory."""
@@ -71,7 +76,7 @@ class GeneratorSpec:
     name: str
     short: str
     defaults: "dict[str, object]"
-    build: "Callable[[Scenario, dict, random.Random], Iterator[TimedPacket]]"
+    build: BuildFn
 
 
 #: Registry of scenario generators, keyed by name, in registration order.
@@ -79,9 +84,10 @@ SCENARIO_GENERATORS: "Dict[str, GeneratorSpec]" = {}
 
 
 def register_generator(name: str, short: str,
-                       defaults: "dict[str, object]"):
+                       defaults: "dict[str, object]",
+                       ) -> "Callable[[BuildFn], BuildFn]":
     """Decorator registering a generator function under ``name``."""
-    def wrap(build):
+    def wrap(build: BuildFn) -> BuildFn:
         if name in SCENARIO_GENERATORS:
             raise ValueError(f"duplicate scenario generator {name!r}")
         SCENARIO_GENERATORS[name] = GeneratorSpec(
@@ -116,7 +122,7 @@ def _resolve(scenario: Scenario) -> "tuple[GeneratorSpec, dict]":
 
 
 def scenario_stream(scenario: Scenario,
-                    counters: "object | None" = None,
+                    counters: "CounterSet | None" = None,
                     ) -> "Iterator[TimedPacket]":
     """The lazy, seeded packet stream one scenario describes.
 

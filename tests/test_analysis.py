@@ -98,6 +98,46 @@ def test_determinism_allows_seeded_numpy_generators():
         "import numpy\nrng = numpy.random.RandomState(7)\n") == set()
 
 
+def test_determinism_flags_profiling_clock_outside_measurement():
+    assert "determinism" in rules_hit(
+        "import time\nt = time.perf_counter()\n")
+    assert "determinism" in rules_hit(
+        "from time import process_time\n")
+    assert "determinism" in rules_hit(
+        "import time\nt = time.perf_counter_ns()\n",
+        "repro/mem/fixture.py")
+
+
+def test_determinism_allows_profiling_clock_in_measurement_context():
+    source = "import time\nt = time.perf_counter()\n"
+    assert rules_hit(source, "repro/harness/fixture.py") == set()
+    assert rules_hit(source, "repro/telemetry/fixture.py") == set()
+    assert {f.rule for f in findings_for(
+        source, "benchmarks/fixture.py", profile="tests")} == set()
+    assert rules_hit("from time import perf_counter\n",
+                     "repro/harness/fixture.py") == set()
+
+
+def test_determinism_measurement_context_keeps_wall_clock_forbidden():
+    """The carve-out covers profiling clocks only, not time.time()."""
+    assert "determinism" in rules_hit(
+        "import time\nt = time.time()\n", "repro/harness/fixture.py")
+
+
+def test_determinism_flags_environment_reads():
+    assert "determinism" in rules_hit(
+        "import os\nv = os.environ['KNOB']\n")
+    assert "determinism" in rules_hit(
+        "import os\nv = os.getenv('KNOB')\n")
+
+
+def test_determinism_allows_environment_reads_in_measurement_context():
+    source = "import os\nv = os.environ.get('KNOB')\n"
+    assert rules_hit(source, "repro/harness/fixture.py") == set()
+    assert rules_hit("import os\nv = os.getenv('KNOB')\n",
+                     "repro/telemetry/fixture.py") == set()
+
+
 def test_determinism_flags_set_iteration():
     assert "determinism" in rules_hit(
         "for item in {1, 2, 3}:\n    print(item)\n")
@@ -415,7 +455,7 @@ def test_cli_list_rules(capsys):
 
 def test_real_tree_lints_clean():
     """``python -m repro lint`` exits 0 on the repository itself."""
-    env = dict(os.environ)
+    env = dict(os.environ)  # reprolint: disable=determinism (passing the parent env to a subprocess round-trip, not reading knobs)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     result = subprocess.run(

@@ -44,6 +44,10 @@ class TestCrcApp:
         app = CrcApp(env)
         [obs] = run_app(app, [Packet(source=1, destination=2)])
         assert INITIALIZATION_CATEGORY in obs
+        # all_categories() is the public enumeration of what run_packet
+        # may emit: with static regions it includes the framework sample.
+        assert set(obs) <= set(app.all_categories())
+        assert INITIALIZATION_CATEGORY in app.all_categories()
 
     def test_buffers_rotate(self, env):
         app = CrcApp(env, buffer_count=2)

@@ -1,0 +1,799 @@
+"""Tests for the project-scope analysis (reprolint --project).
+
+Covers the call-graph builder (static/self/dynamic edges, lazy and
+aliased imports, decorator-registered callees), each project rule
+family firing on a seeded defect and staying silent on a clean tree,
+the CLI integration (--project, --format github, baseline pruning),
+and a meta-test asserting the real repository tree builds, lints
+clean, and stays inside the wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import (
+    PROJECT_RULE_REGISTRY,
+    build_project,
+    default_reference_paths,
+    lint_paths,
+    lint_project,
+    make_project_rules,
+    make_rules,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.project import MODULE_BODY
+from repro.analysis.rules.apidrift import ApiDriftRule
+from repro.analysis.rules.deadcode import DeadCodeRule
+from repro.analysis.rules.hotpath import HotPathAllocationRule
+from repro.analysis.rules.seedflow import SeedProvenanceRule
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Wall-clock budget for building + linting the real tree (acceptance
+#: criterion; the observed time is well under two seconds).
+REAL_TREE_BUDGET_SECONDS = 15.0
+
+
+def write_tree(root, files):
+    """Write ``{relative_path: source}`` under ``root`` with packages."""
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        package = path.parent
+        while package != root:
+            init = package / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            package = package.parent
+    return str(root)
+
+
+def project_for(tmp_path, files, reference=None):
+    root = write_tree(tmp_path, files)
+    reference_paths = []
+    if reference is not None:
+        reference_root = tmp_path / "refs"
+        reference_root.mkdir(exist_ok=True)
+        for name, source in reference.items():
+            (reference_root / name).write_text(source)
+        reference_paths = [str(reference_root)]
+    return build_project([root], reference_paths)
+
+
+def rule_findings(project, rule):
+    return list(lint_project(project, [rule]))
+
+
+# -- registry -----------------------------------------------------------------
+
+def test_all_four_project_rules_registered():
+    assert set(PROJECT_RULE_REGISTRY) == {
+        "seed-provenance", "hot-path-alloc", "dead-code", "api-drift"}
+
+
+def test_project_rules_document_rationale():
+    for rule_class in PROJECT_RULE_REGISTRY.values():
+        assert rule_class.short
+        assert rule_class.rationale
+
+
+def test_make_project_rules_disable_and_demote():
+    assert sorted(r.id for r in make_project_rules(
+        disabled=["dead-code"])) \
+        == ["api-drift", "hot-path-alloc", "seed-provenance"]
+    demoted = {r.id: r.severity
+               for r in make_project_rules(demoted=["api-drift"])}
+    assert demoted["api-drift"] == "warning"
+    assert demoted["seed-provenance"] == "error"
+
+
+# -- call-graph builder -------------------------------------------------------
+
+def edges_between(project, caller, callee):
+    return [edge for edge in project.callees_of(caller)
+            if edge.callee == callee]
+
+
+def test_call_graph_static_edge_via_from_import(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/helpers.py": "def helper():\n    return 1\n",
+        "repro/core/use.py": (
+            "from repro.core.helpers import helper\n"
+            "def caller():\n"
+            "    return helper()\n"),
+    })
+    edges = edges_between(project, "repro.core.use.caller",
+                          "repro.core.helpers.helper")
+    assert len(edges) == 1
+    assert edges[0].kind == "static"
+
+
+def test_call_graph_resolves_import_alias(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/helpers.py": "def helper():\n    return 1\n",
+        "repro/core/use.py": (
+            "from repro.core.helpers import helper as h\n"
+            "def caller():\n"
+            "    return h()\n"),
+    })
+    assert edges_between(project, "repro.core.use.caller",
+                         "repro.core.helpers.helper")
+
+
+def test_call_graph_resolves_lazy_import_inside_function(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/helpers.py": "def helper():\n    return 1\n",
+        "repro/core/use.py": (
+            "def caller():\n"
+            "    from repro.core.helpers import helper\n"
+            "    return helper()\n"),
+    })
+    assert edges_between(project, "repro.core.use.caller",
+                         "repro.core.helpers.helper")
+
+
+def test_call_graph_resolves_module_attribute_call(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/helpers.py": "def helper():\n    return 1\n",
+        "repro/core/use.py": (
+            "from repro.core import helpers\n"
+            "def caller():\n"
+            "    return helpers.helper()\n"),
+    })
+    assert edges_between(project, "repro.core.use.caller",
+                         "repro.core.helpers.helper")
+
+
+def test_call_graph_self_edge(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/machine.py": (
+            "class Machine:\n"
+            "    def step(self):\n"
+            "        return self.advance()\n"
+            "    def advance(self):\n"
+            "        return 1\n"),
+    })
+    edges = edges_between(project, "repro.core.machine.Machine.step",
+                          "repro.core.machine.Machine.advance")
+    assert len(edges) == 1
+    assert edges[0].kind == "self"
+
+
+def test_call_graph_dynamic_edge_links_by_method_name(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/machine.py": (
+            "class Machine:\n"
+            "    def advance(self):\n"
+            "        return 1\n"),
+        "repro/core/use.py": (
+            "def drive(machine):\n"
+            "    return machine.advance()\n"),
+    })
+    edges = edges_between(project, "repro.core.use.drive",
+                          "repro.core.machine.Machine.advance")
+    assert len(edges) == 1
+    assert edges[0].kind == "dynamic"
+
+
+def test_call_graph_decorator_registered_callee(tmp_path):
+    """Applying a decorator is a module-body call edge to it."""
+    project = project_for(tmp_path, {
+        "repro/core/reg.py": (
+            "def register(fn):\n"
+            "    return fn\n"),
+        "repro/core/plug.py": (
+            "from repro.core.reg import register\n"
+            "@register\n"
+            "def plugin():\n"
+            "    return 2\n"),
+    })
+    callers = {edge.caller
+               for edge in project.callers_of("repro.core.reg.register")}
+    assert f"repro.core.plug.{MODULE_BODY}" in callers
+
+
+def test_call_graph_constructor_edge_targets_init(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/machine.py": (
+            "class Machine:\n"
+            "    def __init__(self, size):\n"
+            "        self.size = size\n"),
+        "repro/core/use.py": (
+            "from repro.core.machine import Machine\n"
+            "def build():\n"
+            "    return Machine(4)\n"),
+    })
+    assert edges_between(project, "repro.core.use.build",
+                         "repro.core.machine.Machine.__init__")
+
+
+def test_class_hierarchy_lookup_and_subclasses(tmp_path):
+    project = project_for(tmp_path, {
+        "repro/core/base.py": (
+            "class Base:\n"
+            "    def shared(self):\n"
+            "        return 1\n"),
+        "repro/core/derived.py": (
+            "from repro.core.base import Base\n"
+            "class Derived(Base):\n"
+            "    def own(self):\n"
+            "        return 2\n"),
+    })
+    derived = project.classes["repro.core.derived.Derived"]
+    shared = project.lookup_method(derived, "shared")
+    assert shared is not None
+    assert shared.qualname == "repro.core.base.Base.shared"
+    assert [cls.qualname for cls in project.subclasses_of("Base")] \
+        == ["repro.core.derived.Derived"]
+
+
+# -- seed-provenance ----------------------------------------------------------
+
+def seedflow_findings(tmp_path, files):
+    return rule_findings(project_for(tmp_path, files),
+                         SeedProvenanceRule())
+
+
+def test_seed_provenance_flags_argless_random(tmp_path):
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "def draw():\n"
+            "    return random.Random()\n"
+            "handle = draw\n"),
+    })
+    assert len(findings) == 1
+    assert "OS entropy" in findings[0].message
+
+
+def test_seed_provenance_flags_wall_clock_seed(tmp_path):
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "import time\n"
+            "def draw():\n"
+            "    return random.Random(time.time_ns())\n"),
+    })
+    assert len(findings) == 1
+    assert findings[0].rule == "seed-provenance"
+
+
+def test_seed_provenance_flags_id_taint_sink(tmp_path):
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "def draw(obj):\n"
+            "    return random.Random(id(obj))\n"),
+    })
+    assert len(findings) == 1
+    assert "id()" in findings[0].message
+
+
+def test_seed_provenance_flags_laundering_helper_at_call_site(tmp_path):
+    """The finding lands on the call site that loses provenance."""
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/helpers.py": (
+            "import random\n"
+            "def make_rng(n):\n"
+            "    return random.Random(n)\n"),
+        "repro/core/use.py": (
+            "from repro.core.helpers import make_rng\n"
+            "def run(packets, seed):\n"
+            "    return make_rng(id(packets))\n"),
+    })
+    assert len(findings) == 1
+    assert findings[0].path.endswith("use.py")
+    assert "non-seed argument" in findings[0].message
+
+
+def test_seed_provenance_flags_unprovable_parameter(tmp_path):
+    """A non-seed parameter with no call sites proves nothing."""
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/helpers.py": (
+            "import random\n"
+            "def make_rng(n):\n"
+            "    return random.Random(n)\n"),
+    })
+    assert len(findings) == 1
+    assert "no resolvable call sites" in findings[0].message
+
+
+def test_seed_provenance_accepts_threaded_seed(tmp_path):
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/helpers.py": (
+            "import random\n"
+            "def make_rng(seed):\n"
+            "    return random.Random(seed)\n"),
+        "repro/core/use.py": (
+            "from repro.core.helpers import make_rng\n"
+            "def run(config_seed):\n"
+            "    return make_rng(config_seed * 31 + 7)\n"),
+    })
+    assert findings == []
+
+
+def test_seed_provenance_accepts_laundered_seed_through_helper(tmp_path):
+    """Provenance survives helpers, f-strings, and renamed params."""
+    findings = seedflow_findings(tmp_path, {
+        "repro/traffic/streams.py": (
+            "import random\n"
+            "def stream_rng(name, n):\n"
+            "    return random.Random(f'{name}:{n}')\n"),
+        "repro/traffic/use.py": (
+            "from repro.traffic.streams import stream_rng\n"
+            "def run(scenario_seed):\n"
+            "    return stream_rng('flows', scenario_seed)\n"),
+    })
+    assert findings == []
+
+
+def test_seed_provenance_accepts_constant_seed(tmp_path):
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/fixed.py": (
+            "import random\n"
+            "RNG = random.Random(0xC0FFEE)\n"),
+    })
+    assert findings == []
+
+
+def test_seed_provenance_reports_each_defect_once(tmp_path):
+    """Function bodies are owned once: no duplicate findings from the
+    module-body walk descending into defs (regression)."""
+    findings = seedflow_findings(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "def draw():\n"
+            "    return random.Random()\n"
+            "def also_draw():\n"
+            "    return random.Random()\n"),
+    })
+    assert len(findings) == 2
+    assert sorted(f.line for f in findings) == [3, 5]
+
+
+# -- hot-path-alloc -----------------------------------------------------------
+
+def hotpath_findings(tmp_path, files):
+    return rule_findings(project_for(tmp_path, files),
+                         HotPathAllocationRule())
+
+
+def test_hotpath_flags_allocation_in_root_module(tmp_path):
+    findings = hotpath_findings(tmp_path, {
+        "repro/traffic/flows.py": (
+            "def next_flow(state):\n"
+            "    return [entry * 2 for entry in state]\n"),
+    })
+    assert len(findings) == 1
+    assert "list comprehension" in findings[0].message
+
+
+def test_hotpath_walks_call_graph_with_provenance(tmp_path):
+    findings = hotpath_findings(tmp_path, {
+        "repro/traffic/flows.py": (
+            "from repro.net.mix import describe\n"
+            "def next_flow(state):\n"
+            "    return describe(state)\n"),
+        "repro/net/mix.py": (
+            "def describe(state):\n"
+            "    return f'state={state}'\n"),
+    })
+    assert len(findings) == 1
+    assert findings[0].path.endswith("mix.py")
+    assert "reachable from data-plane root repro.traffic.flows.next_flow" \
+        in findings[0].message
+
+
+def test_hotpath_flags_netbench_handler_not_control_plane(tmp_path):
+    findings = hotpath_findings(tmp_path, {
+        "repro/apps/app_x.py": (
+            "class XApp(NetBenchApp):\n"
+            "    def control_plane(self):\n"
+            "        self.table = dict()\n"
+            "    def process_packet(self, packet, index):\n"
+            "        return dict(seen=packet)\n"),
+    })
+    assert len(findings) == 1
+    assert findings[0].line == 5
+
+
+def test_hotpath_does_not_walk_into_excluded_layers(tmp_path):
+    findings = hotpath_findings(tmp_path, {
+        "repro/traffic/flows.py": (
+            "from repro.telemetry.sink import record\n"
+            "def next_flow(state):\n"
+            "    return record(state)\n"),
+        "repro/telemetry/sink.py": (
+            "def record(state):\n"
+            "    return [entry for entry in state]\n"),
+    })
+    assert findings == []
+
+
+def test_hotpath_exempts_raise_and_assert_subtrees(tmp_path):
+    findings = hotpath_findings(tmp_path, {
+        "repro/traffic/flows.py": (
+            "def next_flow(state):\n"
+            "    if state is None:\n"
+            "        raise ValueError(f'no state: {state}')\n"
+            "    assert all(entry >= 0 for entry in state)\n"
+            "    return state\n"),
+    })
+    assert findings == []
+
+
+def test_hotpath_silent_off_the_data_plane(tmp_path):
+    findings = hotpath_findings(tmp_path, {
+        "repro/core/report.py": (
+            "def summarise(rows):\n"
+            "    return [row.total for row in rows]\n"),
+    })
+    assert findings == []
+
+
+# -- dead-code ----------------------------------------------------------------
+
+def deadcode_findings(tmp_path, files, reference=None):
+    return rule_findings(project_for(tmp_path, files, reference),
+                         DeadCodeRule())
+
+
+def test_deadcode_flags_unreferenced_function(tmp_path):
+    findings = deadcode_findings(tmp_path, {
+        "repro/core/util.py": (
+            "def used():\n"
+            "    return 1\n"
+            "def orphan():\n"
+            "    return 2\n"
+            "value = used()\n"),
+    })
+    assert len(findings) == 1
+    assert "orphan()" in findings[0].message
+
+
+def test_deadcode_counts_reference_tree_uses(tmp_path):
+    findings = deadcode_findings(
+        tmp_path,
+        {"repro/core/util.py": "def helper():\n    return 1\n"},
+        reference={"test_util.py": (
+            "from repro.core.util import helper\n"
+            "assert helper() == 1\n")})
+    assert findings == []
+
+
+def test_deadcode_counts_string_registry_references(tmp_path):
+    findings = deadcode_findings(tmp_path, {
+        "repro/core/util.py": "def geometric():\n    return 1\n",
+        "repro/core/table.py": "DISPATCH = {'geometric': None}\n",
+    })
+    assert findings == []
+
+
+def test_deadcode_exempts_exports_decorators_and_dunders(tmp_path):
+    findings = deadcode_findings(tmp_path, {
+        "repro/core/util.py": (
+            "__all__ = ['exported']\n"
+            "def exported():\n"
+            "    return 1\n"
+            "@property\n"
+            "def registered():\n"
+            "    return 2\n"
+            "class Node:\n"
+            "    def __iter__(self):\n"
+            "        return iter(())\n"
+            "    def visit_Call(self, node):\n"
+            "        return node\n"
+            "node = Node()\n"),
+    })
+    assert [f.message for f in findings] == []
+
+
+def test_deadcode_flags_unreferenced_method_of_live_class(tmp_path):
+    findings = deadcode_findings(tmp_path, {
+        "repro/core/util.py": (
+            "class Widget:\n"
+            "    def used(self):\n"
+            "        return 1\n"
+            "    def orphan_method(self):\n"
+            "        return 2\n"
+            "w = Widget()\n"
+            "w.used()\n"),
+    })
+    assert len(findings) == 1
+    assert "Widget.orphan_method()" in findings[0].message
+
+
+# -- api-drift ----------------------------------------------------------------
+
+def apidrift_findings(tmp_path, files):
+    return rule_findings(project_for(tmp_path, files), ApiDriftRule())
+
+
+def test_apidrift_flags_facade_import_of_unbound_name(tmp_path):
+    findings = apidrift_findings(tmp_path, {
+        "repro/api.py": "from repro.core.stuff import gizmo\n",
+        "repro/core/stuff.py": "widget = 1\n",
+    })
+    assert len(findings) == 1
+    assert "does not bind it" in findings[0].message
+
+
+def test_apidrift_flags_facade_import_private_at_source(tmp_path):
+    findings = apidrift_findings(tmp_path, {
+        "repro/api.py": "from repro.core.stuff import gizmo\n",
+        "repro/core/stuff.py": (
+            "__all__ = ['widget']\n"
+            "widget = 1\n"
+            "gizmo = 2\n"),
+    })
+    assert len(findings) == 1
+    assert "not public at source" in findings[0].message
+
+
+def test_apidrift_clean_facade_round_trips(tmp_path):
+    findings = apidrift_findings(tmp_path, {
+        "repro/api.py": "from repro.core.stuff import gizmo\n",
+        "repro/core/stuff.py": (
+            "__all__ = ['gizmo']\n"
+            "gizmo = 2\n"),
+    })
+    assert findings == []
+
+
+def test_apidrift_flags_forked_injector_name_table(tmp_path):
+    findings = apidrift_findings(tmp_path, {
+        "repro/mem/faults.py": (
+            "INJECTOR_NAMES = ('geometric', 'burst')\n"
+            "_INJECTOR_CLASSES = {'geometric': None}\n"),
+    })
+    assert len(findings) == 1
+    assert "'burst'" in findings[0].message
+
+
+def test_apidrift_flags_duplicate_generator_registration(tmp_path):
+    findings = apidrift_findings(tmp_path, {
+        "repro/traffic/generators.py": (
+            "def register_generator(name):\n"
+            "    def wrap(fn):\n"
+            "        return fn\n"
+            "    return wrap\n"
+            "@register_generator('uniform')\n"
+            "def first(scenario):\n"
+            "    return 1\n"
+            "@register_generator('uniform')\n"
+            "def second(scenario):\n"
+            "    return 2\n"),
+    })
+    assert len(findings) == 1
+    assert "shadows" in findings[0].message
+
+
+def test_apidrift_flags_duplicate_registry_id(tmp_path):
+    findings = apidrift_findings(tmp_path, {
+        "repro/oracle/checks.py": (
+            "@register_invariant\n"
+            "class First:\n"
+            "    id = 'fault-monotonic'\n"
+            "@register_invariant\n"
+            "class Second:\n"
+            "    id = 'fault-monotonic'\n"),
+    })
+    assert len(findings) == 1
+    assert "reuses id" in findings[0].message
+
+
+# -- per-file rules with project plumbing -------------------------------------
+
+def per_file_findings(tmp_path, files):
+    root = write_tree(tmp_path, files)
+    project = build_project([root])
+    return lint_paths([root], make_rules(),
+                      options={"project": project})
+
+
+def test_layering_flags_import_of_missing_module(tmp_path):
+    findings = per_file_findings(tmp_path, {
+        "repro/mem/use.py": "from repro.core.gone import thing\n",
+        "repro/core/present.py": "thing = 1\n",
+    })
+    assert [f.rule for f in findings] == ["layering"]
+    assert "not a module in the analysed tree" in findings[0].message
+
+
+def test_layering_resolution_gated_on_full_tree(tmp_path):
+    """A subtree build must not fake missing-module findings."""
+    root = write_tree(tmp_path, {
+        "repro/mem/use.py": "from repro.core.constants import X\n",
+    })
+    subtree = os.path.join(root, "repro", "mem")
+    project = build_project([subtree])
+    findings = lint_paths([subtree], make_rules(),
+                          options={"project": project})
+    assert findings == []
+
+
+def test_privacy_flags_import_of_unbound_name(tmp_path):
+    findings = per_file_findings(tmp_path, {
+        "repro/core/use.py": (
+            "from repro.core.helpers import nope\n"),
+        "repro/core/helpers.py": "other = 1\n",
+    })
+    assert [f.rule for f in findings] == ["private-import"]
+    assert "binds no such name" in findings[0].message
+
+
+def test_privacy_allows_submodule_and_bound_imports(tmp_path):
+    findings = per_file_findings(tmp_path, {
+        "repro/core/use.py": (
+            "from repro.core import helpers\n"
+            "from repro.core.helpers import other\n"),
+        "repro/core/helpers.py": "other = 1\n",
+    })
+    assert findings == []
+
+
+def test_floatcmp_flags_equality_on_float_annotated_call(tmp_path):
+    findings = per_file_findings(tmp_path, {
+        "repro/core/metrics.py": (
+            "def score() -> float:\n"
+            "    return 1.0\n"),
+        "repro/core/use.py": (
+            "from repro.core.metrics import score\n"
+            "def check():\n"
+            "    return score() == 1.0\n"),
+    })
+    assert [f.rule for f in findings] == ["float-equality"]
+    assert "annotated -> float" in findings[0].message
+
+
+def test_floatcmp_silent_without_project_context(tmp_path):
+    """The annotation check is project plumbing, not a per-file change."""
+    root = write_tree(tmp_path, {
+        "repro/core/metrics.py": (
+            "def score() -> float:\n"
+            "    return 1.0\n"),
+        "repro/core/use.py": (
+            "from repro.core.metrics import score\n"
+            "def check():\n"
+            "    return score() == 1.0\n"),
+    })
+    assert lint_paths([root], make_rules()) == []
+
+
+# -- CLI integration ----------------------------------------------------------
+
+def test_cli_project_flag_runs_project_rules(tmp_path, capsys):
+    root = write_tree(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "def draw():\n"
+            "    return random.Random()\n"
+            "handle = draw\n"),
+    })
+    exit_code = lint_main([root, "--no-baseline", "--project"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "seed-provenance" in out
+
+
+def test_cli_disable_project_rule(tmp_path):
+    root = write_tree(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "def draw():\n"
+            "    return random.Random()\n"
+            "handle = draw\n"),
+    })
+    assert lint_main([root, "--no-baseline", "--project",
+                      "--disable", "seed-provenance"]) == 0
+
+
+def test_cli_unknown_rule_id_is_usage_error(tmp_path):
+    root = write_tree(tmp_path, {"repro/core/ok.py": "x = 1\n"})
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main([root, "--no-baseline", "--disable", "bogus-rule"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_github_format_annotations(tmp_path, capsys):
+    root = write_tree(tmp_path, {
+        "repro/core/bad.py": "import random\nx = random.random()\n",
+    })
+    exit_code = lint_main([root, "--no-baseline", "--format", "github"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    lines = out.strip().splitlines()
+    annotation = lines[0]
+    assert annotation.startswith("::error file=")
+    assert ",line=2," in annotation
+    assert "col=" in annotation
+    assert "::determinism:" in annotation
+    assert lines[-1].startswith("reprolint: 1 error(s)")
+
+
+def test_cli_github_format_escapes_percent(tmp_path, capsys):
+    """Workflow-command grammar: % in messages must arrive as %25."""
+    root = write_tree(tmp_path, {
+        "repro/core/bad.py": "import random\nx = random.random()\n",
+    })
+    lint_main([root, "--no-baseline", "--format", "github"])
+    out = capsys.readouterr().out
+    assert "%" not in out.replace("%25", "").replace("%0A", "") \
+        .replace("%0D", "")
+
+
+def test_cli_json_reports_project_findings(tmp_path, capsys):
+    root = write_tree(tmp_path, {
+        "repro/core/bad.py": (
+            "import random\n"
+            "def draw():\n"
+            "    return random.Random()\n"
+            "handle = draw\n"),
+    })
+    exit_code = lint_main([root, "--no-baseline", "--project", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["project"] is True
+    assert "seed-provenance" in {f["rule"] for f in payload["findings"]}
+
+
+def test_cli_write_baseline_prunes_stale_entries(tmp_path, capsys,
+                                                 monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\n"
+                   "x = random.random()\n"
+                   "y = random.randint(0, 4)\n")
+    assert lint_main([str(tmp_path), "--write-baseline"]) == 0
+    first = capsys.readouterr().out
+    assert "wrote 2 finding(s)" in first
+    assert "pruned" not in first
+
+    bad.write_text("import random\n"
+                   "x = random.random()\n")
+    assert lint_main([str(tmp_path), "--write-baseline"]) == 0
+    second = capsys.readouterr().out
+    assert "wrote 1 finding(s)" in second
+    assert "pruned 1 stale entry" in second
+
+    with open("reprolint-baseline.json", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    assert len(baseline["findings"]) == 1
+
+    assert lint_main([str(tmp_path)]) == 0
+
+
+# -- the real tree ------------------------------------------------------------
+
+def test_real_tree_project_lint_clean_within_budget():
+    """Building and project-linting the repository stays clean and
+    inside the acceptance wall-clock budget."""
+    paths = [os.path.join(REPO_ROOT, "src", "repro"),
+             os.path.join(REPO_ROOT, "tests")]
+    start = time.perf_counter()  # reprolint: disable=determinism (measuring the lint's own wall-clock budget)
+    project = build_project(paths, default_reference_paths(paths))
+    findings = lint_project(project, make_project_rules())
+    elapsed = time.perf_counter() - start  # reprolint: disable=determinism (measuring the lint's own wall-clock budget)
+    assert [f.render() for f in findings] == []
+    assert elapsed < REAL_TREE_BUDGET_SECONDS
+
+
+def test_real_tree_call_graph_covers_the_simulator():
+    paths = [os.path.join(REPO_ROOT, "src", "repro")]
+    project = build_project(paths, [])
+    assert len(project.modules) > 50
+    assert len(project.functions) > 300
+    assert len(project.calls) > 1000
+    # Spot-check a known data-plane chain: the cache read path.
+    assert project.functions["repro.mem.view.MemView.read_u32"]
+    callees = {edge.callee
+               for edge in project.callees_of(
+                   "repro.mem.view.MemView.read_u32")}
+    assert callees

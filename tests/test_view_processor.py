@@ -18,6 +18,10 @@ class TestMemView:
         assert env.view.read_u8(0x1000) == 0xEF
         assert env.view.read_u8(0x1001) == 0xBE
 
+    def test_u16_roundtrip(self, env):
+        env.view.write_u16(0x1000, 0xBEEF)
+        assert env.view.read_u16(0x1000) == 0xBEEF
+
     def test_u32_little_endian(self, env):
         env.view.write_u32(0x1000, 0x01020304)
         assert env.view.read_bytes(0x1000, 4) == b"\x04\x03\x02\x01"

@@ -3,9 +3,11 @@
 These are the only benches where wall-clock statistics are the artifact:
 they document the cost of simulation itself (accesses per second through
 the full hierarchy, lookups per second through the radix tree) so users
-can budget sweeps.  The injector comparison additionally writes
-``BENCH_throughput.json`` -- the machine-readable perf trajectory that CI
-gates on and subsequent changes extend.
+can budget sweeps.  The sweep comparisons additionally write sections of
+``BENCH_throughput.json`` -- the machine-readable perf trajectory that
+CI gates on and subsequent changes extend.  Each gated lane merges its
+section into the file (read-modify-write) so the lanes compose in any
+order and a single artifact carries the whole trajectory.
 """
 
 import json
@@ -20,6 +22,42 @@ from repro.harness.experiment import run_experiment
 from repro.mem.faults import FaultInjector
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.net.trace import make_prefixes
+
+
+def _merge_throughput_section(artifact_dir, section: str,
+                              report: dict) -> str:
+    """Merge one lane's report into ``BENCH_throughput.json``.
+
+    The file maps section name -> report.  A pre-existing flat report
+    (the file's original single-section layout) is lifted under its
+    ``experiment`` key before merging, so old artifacts upgrade in
+    place.
+    """
+    path = artifact_dir / "BENCH_throughput.json"
+    combined = {}
+    if path.exists():
+        try:
+            combined = json.loads(path.read_text())
+        except ValueError:
+            combined = {}
+    if "experiment" in combined:  # legacy flat layout
+        combined = {combined["experiment"]: combined}
+    combined[section] = report
+    text = json.dumps(combined, indent=2)
+    path.write_text(text + "\n")
+    return json.dumps(report, indent=2)
+
+
+def _fig9_12_configs(app: str, packets: int, backend: str,
+                     injector: str = "reference"):
+    """The behavioural-sweep config block for one application."""
+    settings = tuple(RELATIVE_CYCLE_LEVELS) + ("dynamic",)
+    return [ExperimentConfig(
+        app=app, packet_count=packets, seed=7,
+        cycle_time=(1.0 if setting == "dynamic" else setting),
+        dynamic=setting == "dynamic", policy=policy,
+        injector=injector, backend=backend)
+        for policy in ALL_POLICIES for setting in settings]
 
 
 class TestHierarchyThroughput:
@@ -80,20 +118,14 @@ class TestInjectorSweepThroughput:
 
     def test_geometric_speedup_on_fig9_12_sweep(self, once, artifact_dir):
         packets = int(os.environ.get("REPRO_THROUGHPUT_PACKETS", "60"))
-        settings = tuple(RELATIVE_CYCLE_LEVELS) + ("dynamic",)
 
         def sweep(injector):
             per_app = {}
             for app in NETBENCH_APPS:
                 started = time.perf_counter()
-                for policy in ALL_POLICIES:
-                    for setting in settings:
-                        run_experiment(ExperimentConfig(
-                            app=app, packet_count=packets, seed=7,
-                            cycle_time=(1.0 if setting == "dynamic"
-                                        else setting),
-                            dynamic=setting == "dynamic", policy=policy,
-                            injector=injector))
+                for config in _fig9_12_configs(app, packets, "execute",
+                                               injector=injector):
+                    run_experiment(config)
                 per_app[app] = time.perf_counter() - started
             return per_app
 
@@ -106,8 +138,9 @@ class TestInjectorSweepThroughput:
             "experiment": "fig9_12_cold_sweep",
             "packets": packets,
             "seed": 7,
-            "configs_per_injector": (len(NETBENCH_APPS) * len(ALL_POLICIES)
-                                     * len(settings)),
+            "configs_per_injector": len(
+                _fig9_12_configs("crc", packets, "execute")) *
+                len(NETBENCH_APPS),
             "reference_seconds": round(reference_total, 3),
             "geometric_seconds": round(geometric_total, 3),
             "speedup": round(speedup, 3),
@@ -121,14 +154,95 @@ class TestInjectorSweepThroughput:
                 for app in NETBENCH_APPS
             },
         }
-        text = json.dumps(report, indent=2)
         print()
-        print(text)
-        (artifact_dir / "BENCH_throughput.json").write_text(text + "\n")
+        print(_merge_throughput_section(artifact_dir, "fig9_12_cold_sweep",
+                                        report))
         assert speedup >= self.MIN_SPEEDUP, (
             f"geometric injector speedup regressed: {speedup:.2f}x < "
             f"{self.MIN_SPEEDUP}x gate (reference {reference_total:.1f}s, "
             f"geometric {geometric_total:.1f}s)")
+
+
+class TestReplayBackendThroughput:
+    """Warm fig9-12-shaped sweep, replay backend vs faithful execution.
+
+    Each application's trace is recorded once (outside the timed
+    region: a warm sweep is the backend's steady state -- the CLI
+    persists traces under ``<cache_dir>/traces``), then the full
+    (policy x Cr-setting) block replays per app against the same block
+    executing faithfully.  Replay's total includes its fallbacks (the
+    configs whose sampled faults reach branched-on values re-run the
+    faithful kernel inside ``run_replay``), so the gated number is the
+    honest end-to-end cost of ``--backend replay``.  CI fails if the
+    sweep-level speedup drops below 5x (measured ~6x at both 30 and 60
+    packets per experiment).
+    """
+
+    #: CI gate: minimum acceptable replay-over-execute warm speedup.
+    MIN_SPEEDUP = 5.0
+
+    def test_replay_speedup_on_fig9_12_sweep(self, once, artifact_dir):
+        from repro.replay import TraceStore, set_trace_store, trace_store
+        from repro.replay.backend import fallback_count, run_replay
+
+        packets = int(os.environ.get("REPRO_THROUGHPUT_PACKETS", "60"))
+
+        def sweep():
+            previous = set_trace_store(TraceStore())
+            try:
+                execute_times, replay_times = {}, {}
+                fallbacks_before = fallback_count()
+                for app in NETBENCH_APPS:
+                    replay_configs = _fig9_12_configs(app, packets,
+                                                      "replay")
+                    trace_store().get_or_record(replay_configs[0])
+                    started = time.perf_counter()
+                    for config in _fig9_12_configs(app, packets,
+                                                   "execute"):
+                        run_experiment(config)
+                    executed = time.perf_counter()
+                    run_replay(replay_configs)
+                    replayed = time.perf_counter()
+                    execute_times[app] = executed - started
+                    replay_times[app] = replayed - executed
+                fallbacks = fallback_count() - fallbacks_before
+                return execute_times, replay_times, fallbacks
+            finally:
+                set_trace_store(previous)
+
+        execute_times, replay_times, fallbacks = once(sweep)
+        execute_total = sum(execute_times.values())
+        replay_total = sum(replay_times.values())
+        speedup = execute_total / replay_total
+        configs_per_backend = len(
+            _fig9_12_configs("crc", packets, "execute")) * len(NETBENCH_APPS)
+        report = {
+            "experiment": "fig9_12_warm_replay_sweep",
+            "packets": packets,
+            "seed": 7,
+            "configs_per_backend": configs_per_backend,
+            "execute_seconds": round(execute_total, 3),
+            "replay_seconds": round(replay_total, 3),
+            "replay_fallbacks": fallbacks,
+            "speedup": round(speedup, 3),
+            "gate": self.MIN_SPEEDUP,
+            "per_app": {
+                app: {
+                    "execute_seconds": round(execute_times[app], 3),
+                    "replay_seconds": round(replay_times[app], 3),
+                    "speedup": round(
+                        execute_times[app] / replay_times[app], 3),
+                }
+                for app in NETBENCH_APPS
+            },
+        }
+        print()
+        print(_merge_throughput_section(
+            artifact_dir, "fig9_12_warm_replay_sweep", report))
+        assert speedup >= self.MIN_SPEEDUP, (
+            f"replay backend speedup regressed: {speedup:.2f}x < "
+            f"{self.MIN_SPEEDUP}x gate (execute {execute_total:.1f}s, "
+            f"replay {replay_total:.1f}s, {fallbacks} fallbacks)")
 
 
 class TestRadixThroughput:

@@ -18,6 +18,13 @@ This project rule closes the loop:
   ``_INJECTOR_CLASSES`` dispatch dict must contain exactly the same
   names -- a drift here makes ``make_injector`` reject a documented
   injector or accept an undocumented one;
+* ``repro.harness.backends``: ``BACKEND_NAMES`` and the
+  ``BACKEND_MODULES`` registry must list exactly the same backends, and
+  every module the registry names must exist in the project -- the
+  registry reaches its backends by module *name* through importlib
+  (the replay backend lives above the harness in the layer DAG), so a
+  rename there is invisible to both the layering rule and the import
+  system until first dispatch;
 * decorator registries: every ``@register_generator("name")`` string in
   ``repro.traffic.generators`` must be unique and non-empty, and every
   ``@register`` / ``@register_invariant`` / ``@register_project`` class
@@ -45,6 +52,16 @@ API_FACADE_MODULE = "repro.api"
 #: must agree exactly.
 _NAME_TABLE_PAIRS = (
     ("repro.mem.faults", "INJECTOR_NAMES", "_INJECTOR_CLASSES"),
+    ("repro.harness.backends", "BACKEND_NAMES", "BACKEND_MODULES"),
+)
+
+#: (module, dict binding) pairs whose *values* are module names that
+#: importlib resolves at runtime.  The layering rule only sees import
+#: statements, so a registry that names a moved or deleted module (the
+#: way ``BACKEND_MODULES`` reaches ``repro.replay.backend`` without an
+#: upward import) is invisible to it; this closes that hole.
+_MODULE_VALUE_TABLES = (
+    ("repro.harness.backends", "BACKEND_MODULES"),
 )
 
 #: (module, decorator) pairs registering by string first argument.
@@ -100,6 +117,20 @@ def _dict_string_keys(node: "Optional[ast.expr]",
     return keys
 
 
+def _dict_string_values(node: "Optional[ast.expr]",
+                        ) -> "Optional[List[str]]":
+    """String values of a dict literal, else None."""
+    if not isinstance(node, ast.Dict):
+        return None
+    values: "List[str]" = []
+    for value in node.values:
+        if not (isinstance(value, ast.Constant) and
+                isinstance(value.value, str)):
+            return None
+        values.append(value.value)
+    return values
+
+
 def _class_id(node: ast.ClassDef) -> "Optional[str]":
     """The string bound to a class-level ``id`` attribute, if any."""
     for item in node.body:
@@ -137,6 +168,7 @@ class ApiDriftRule(ProjectRule):
                       project: ProjectContext) -> "Iterator[Finding]":
         yield from self._check_facade(project)
         yield from self._check_name_tables(project)
+        yield from self._check_module_value_tables(project)
         yield from self._check_string_registries(project)
         yield from self._check_id_registries(project)
 
@@ -204,6 +236,28 @@ class ApiDriftRule(ProjectRule):
                     f"{table_binding} dispatches {extra!r} but "
                     f"{names_binding} does not list it; the name is "
                     f"reachable yet undocumented")
+
+    def _check_module_value_tables(self,
+                                   project: ProjectContext,
+                                   ) -> "Iterator[Finding]":
+        """Registry dicts whose values importlib resolves must resolve."""
+        for module, table_binding in _MODULE_VALUE_TABLES:
+            info = project.resolve_module(module)
+            if info is None:
+                continue
+            table_node = _top_level_value(info, table_binding)
+            targets = _dict_string_values(table_node)
+            if targets is None:
+                continue
+            anchor = table_node if table_node is not None else info.tree
+            for target in targets:
+                if project.resolve_module(target) is None:
+                    yield self.project_finding(
+                        project, info.path, anchor,
+                        f"{table_binding} names module {target!r}, "
+                        f"which is not in the analysed tree (moved or "
+                        f"deleted?); backend_runner would raise "
+                        f"ImportError on first dispatch")
 
     # -- decorator registries -------------------------------------------------
 

@@ -51,19 +51,26 @@ LAYER_DAG: "dict[str, frozenset[str]]" = {
     "harness": frozenset({"net", "mem", "cpu", "core", "apps",
                           "telemetry", "traffic", "system", "analysis",
                           "util"}),
+    # The replay backend records through the faithful harness and
+    # re-prices traces above it.  The harness must never import it back
+    # (the backend registry crosses the boundary by module *name*, via
+    # importlib), so replay sits strictly above harness and below the
+    # oracle that verifies it.
+    "replay": frozenset({"net", "mem", "cpu", "core", "apps", "harness",
+                         "util"}),
     # The verification oracle treats the simulator as the system under
     # test: it drives the harness (and everything below it) but nothing
     # may import it except the package root and the facade.
     "oracle": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                         "traffic", "system", "harness", "util"}),
+                         "traffic", "system", "harness", "replay", "util"}),
     # The public facade (repro/api.py) sits beside the package root: it
     # re-exports the supported surface and may therefore reach anything.
     "api": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                      "traffic", "system", "harness", "analysis", "oracle",
-                      "util"}),
+                      "traffic", "system", "harness", "replay", "analysis",
+                      "oracle", "util"}),
     "repro": frozenset({"net", "mem", "cpu", "core", "apps", "telemetry",
-                        "traffic", "system", "harness", "analysis",
-                        "oracle", "util", "api"}),
+                        "traffic", "system", "harness", "replay",
+                        "analysis", "oracle", "util", "api"}),
 }
 
 #: Layers that may import :mod:`repro.telemetry` (the instrumented
@@ -114,7 +121,8 @@ class LayeringRule(Rule):
     severity = "error"
     short = ("imports must follow the layer DAG "
              "(util < net/core < cpu/telemetry < mem < apps < "
-             "system < harness); telemetry only from its consumers")
+             "system < harness < replay < oracle); telemetry only "
+             "from its consumers")
     rationale = ("a layered fault surface keeps every simulated access "
                  "auditable, and telemetry stays non-perturbing when "
                  "only the instrumented layers can reach it")

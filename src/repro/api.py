@@ -11,17 +11,28 @@ Internal module paths (``repro.harness.experiment``,
 code that wants stability across versions should import from
 ``repro.api``::
 
-    from repro.api import (
-        CampaignEngine, ExperimentConfig, ResultStore, run_experiment,
-    )
+    from repro.api import CampaignEngine, ExperimentConfig, ResultStore, run
 
+    result = run(ExperimentConfig(app="route", cycle_time=0.5),
+                 backend="replay")
     engine = CampaignEngine(store=ResultStore(".repro-cache"))
     results = engine.run([ExperimentConfig(app="route", cycle_time=0.5)])
 
-The surface covers four layers of use:
+The surface covers five layers of use:
 
-* **single runs** -- :class:`ExperimentConfig`, :func:`run_experiment`,
-  :class:`ExperimentResult` (JSON round-trip via ``to_json``/``from_json``);
+* **single runs** -- :func:`run` (the unified entry point: pick a
+  backend, optionally attach a tracer or engine), its config/result
+  types :class:`ExperimentConfig` (``with_options`` for keyword-only
+  derivation) and :class:`ExperimentResult` (JSON round-trip via
+  ``to_json``/``from_json``), and the legacy alias
+  :func:`run_experiment` (the ``execute`` backend, directly);
+* **execution backends** -- :data:`BACKEND_NAMES` (``"execute"`` runs
+  the faithful kernel, ``"replay"`` re-prices a recorded trace; select
+  via ``run(config, backend=...)`` or
+  ``ExperimentConfig(backend=...)``), :func:`register_backend`, and the
+  trace-replay machinery: :class:`Trace`, :class:`TraceStore`,
+  :func:`trace_key`, :func:`record_trace`, :func:`replay_trace`,
+  :func:`trace_store` / :func:`set_trace_store`;
 * **sweeps and campaigns** -- :func:`run_experiments`, :func:`sweep`,
   :class:`CampaignEngine`, :func:`default_engine`, :func:`map_parallel`;
 * **persistence** -- :class:`ResultStore`, :func:`config_key`,
@@ -62,8 +73,9 @@ from repro.core.recovery import (
     TWO_STRIKE,
     policy_by_name,
 )
+from repro.harness.backends import BACKEND_NAMES, register_backend
 from repro.harness.config import DEFAULT_FAULT_SCALE, PLANES, ExperimentConfig
-from repro.harness.engine import CampaignEngine, default_engine
+from repro.harness.engine import CampaignEngine, default_engine, run
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.parallel import map_parallel, run_experiments
 from repro.harness.store import (
@@ -89,6 +101,15 @@ from repro.oracle.invariants import (
     check_invariants,
     register_invariant,
 )
+from repro.replay import (
+    Trace,
+    TraceStore,
+    record_trace,
+    replay_trace,
+    set_trace_store,
+    trace_key,
+    trace_store,
+)
 from repro.system.linerate import (
     ScenarioSeries,
     ServiceModel,
@@ -107,6 +128,7 @@ from repro.traffic.scenario import Scenario
 
 __all__ = [
     "ALL_POLICIES",
+    "BACKEND_NAMES",
     "CODE_VERSION",
     "CampaignEngine",
     "DEFAULT_FAULT_SCALE",
@@ -134,6 +156,8 @@ __all__ = [
     "THREE_STRIKE",
     "TWO_STRIKE",
     "TimedPacket",
+    "Trace",
+    "TraceStore",
     "Tracer",
     "TrafficBucket",
     "Violation",
@@ -145,8 +169,12 @@ __all__ = [
     "make_injector",
     "map_parallel",
     "policy_by_name",
+    "record_trace",
+    "register_backend",
     "register_invariant",
     "replay_corpus_entry",
+    "replay_trace",
+    "run",
     "run_check",
     "run_differential",
     "run_experiment",
@@ -156,6 +184,9 @@ __all__ = [
     "save_results",
     "scenario_loss_curve",
     "scenario_stream",
+    "set_trace_store",
     "simulate_scenario",
     "sweep",
+    "trace_key",
+    "trace_store",
 ]

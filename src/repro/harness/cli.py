@@ -8,6 +8,7 @@ Usage::
     python -m repro all --max-workers 4 --cache-dir .repro-cache
     python -m repro fig9a --resume
     python -m repro fig12b --injector geometric
+    python -m repro fig9a --backend replay
     python -m repro trace route --packets 200
     python -m repro traffic flash-crowd --seed 0
     python -m repro lint --json
@@ -33,6 +34,13 @@ default cache directory; ``--no-cache`` forces a cold run.  A one-line
 campaign summary (``configs= cache_hits= simulated= chunks=``) is
 printed to stderr whenever caching is active -- CI asserts
 ``simulated=0`` on the second of two identical runs.
+
+Backends: ``--backend {execute,replay}`` selects how configs become
+results (see :mod:`repro.harness.backends`).  The flag is defined once
+by :func:`~repro.harness.backends.backend_parent_parser` and shared by
+every experiment-running subcommand; with ``--cache-dir``, replay's
+recorded traces persist under ``<cache_dir>/traces`` next to the
+result store.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ import argparse
 import sys
 
 from repro.harness import figures, tables
+from repro.harness.backends import backend_parent_parser, configure_backend
 from repro.harness.engine import CampaignEngine
 from repro.harness.parallel import map_parallel
 from repro.harness.store import ResultStore
@@ -52,46 +61,48 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 def _edf_renderer(app: str, figure_name: str):
     def render(packets: int, seeds: "tuple[int, ...]",
-               engine: CampaignEngine, injector: str) -> str:
+               engine: CampaignEngine, injector: str, backend: str) -> str:
         return figures.render_edf(app, figure_name, packet_count=packets,
                                   seeds=seeds, engine=engine,
-                                  injector=injector)
+                                  injector=injector, backend=backend)
     return render
 
 
 def _experiment_renderers() -> "dict[str, object]":
-    """Experiment id -> callable(packets, seeds, engine, injector) -> str.
+    """Experiment id -> callable(packets, seeds, engine, injector,
+    backend) -> str.
 
     The analytic artifacts (fig1b-fig5, ext_dvs) and the non-config-
-    shaped multicore extension accept and ignore the injector argument.
+    shaped multicore extension accept and ignore the injector and
+    backend arguments.
     """
     return {
-        "table1": lambda packets, seeds, engine, injector:
+        "table1": lambda packets, seeds, engine, injector, backend:
             tables.render_table1(tables.table1(
                 packet_count=packets, seeds=seeds, engine=engine,
-                injector=injector)),
-        "fig1b": lambda packets, seeds, engine, injector:
+                injector=injector, backend=backend)),
+        "fig1b": lambda packets, seeds, engine, injector, backend:
             figures.render_fig1b(),
-        "fig2b": lambda packets, seeds, engine, injector:
+        "fig2b": lambda packets, seeds, engine, injector, backend:
             figures.render_fig2b(),
-        "fig3": lambda packets, seeds, engine, injector:
+        "fig3": lambda packets, seeds, engine, injector, backend:
             figures.render_fig3(),
-        "fig4": lambda packets, seeds, engine, injector:
+        "fig4": lambda packets, seeds, engine, injector, backend:
             figures.render_fig4(),
-        "fig5": lambda packets, seeds, engine, injector:
+        "fig5": lambda packets, seeds, engine, injector, backend:
             figures.render_fig5(),
-        "fig6": lambda packets, seeds, engine, injector:
+        "fig6": lambda packets, seeds, engine, injector, backend:
             figures.fig6_route_errors(
                 packet_count=packets, seeds=seeds, engine=engine,
-                injector=injector),
-        "fig7": lambda packets, seeds, engine, injector:
+                injector=injector, backend=backend),
+        "fig7": lambda packets, seeds, engine, injector, backend:
             figures.fig7_nat_errors(
                 packet_count=packets, seeds=seeds, engine=engine,
-                injector=injector),
-        "fig8": lambda packets, seeds, engine, injector:
+                injector=injector, backend=backend),
+        "fig8": lambda packets, seeds, engine, injector, backend:
             figures.render_fig8(
                 packet_count=packets, seeds=seeds, engine=engine,
-                injector=injector),
+                injector=injector, backend=backend),
         "fig9a": _edf_renderer("route", "Figure 9(a)"),
         "fig9b": _edf_renderer("crc", "Figure 9(b)"),
         "fig10a": _edf_renderer("md5", "Figure 10(a)"),
@@ -99,19 +110,21 @@ def _experiment_renderers() -> "dict[str, object]":
         "fig11a": _edf_renderer("drr", "Figure 11(a)"),
         "fig11b": _edf_renderer("nat", "Figure 11(b)"),
         "fig12a": _edf_renderer("url", "Figure 12(a)"),
-        "fig12b": lambda packets, seeds, engine, injector:
+        "fig12b": lambda packets, seeds, engine, injector, backend:
             figures.render_average_edf(
                 packet_count=packets, seeds=seeds, engine=engine,
-                injector=injector),
+                injector=injector, backend=backend),
         "ext_optimum": _render_optimum,
-        "ext_dvs": lambda packets, seeds, engine, injector: _render_dvs(),
+        "ext_dvs": lambda packets, seeds, engine, injector, backend:
+            _render_dvs(),
         "ext_multicore": _render_multicore,
         "ext_anatomy": _render_anatomy,
     }
 
 
 def _render_optimum(packets: int, seeds: "tuple[int, ...]",
-                    engine: CampaignEngine, injector: str) -> str:
+                    engine: CampaignEngine, injector: str,
+                    backend: str) -> str:
     """Analytic operating-point prediction per application."""
     from repro.core.optimum import OperatingPointModel
     from repro.core.recovery import NO_DETECTION
@@ -123,7 +136,7 @@ def _render_optimum(packets: int, seeds: "tuple[int, ...]",
     observed_runs = engine.run([ExperimentConfig(
         app=app, packet_count=packets, seed=seeds[0], cycle_time=0.25,
         policy=NO_DETECTION, fault_scale=20.0,
-        injector=injector) for app in NETBENCH_APPS])
+        injector=injector, backend=backend) for app in NETBENCH_APPS])
     rows = []
     for app, observed in zip(NETBENCH_APPS, observed_runs):
         profile = profile_workload(app, packet_count=packets, seed=seeds[0])
@@ -160,9 +173,11 @@ def _render_dvs() -> str:
 
 
 def _render_multicore(packets: int, seeds: "tuple[int, ...]",
-                      engine: CampaignEngine, injector: str) -> str:
+                      engine: CampaignEngine, injector: str,
+                      backend: str) -> str:
     """Engine-count scaling table (multicore runs are not config-shaped,
-    so the injector selection does not apply and is ignored)."""
+    so the injector and backend selections do not apply and are
+    ignored)."""
     from repro.core.recovery import TWO_STRIKE
     from repro.harness.report import render_table
     from repro.system.multicore import run_multicore
@@ -184,7 +199,8 @@ def _render_multicore(packets: int, seeds: "tuple[int, ...]",
 
 
 def _render_anatomy(packets: int, seeds: "tuple[int, ...]",
-                    engine: CampaignEngine, injector: str) -> str:
+                    engine: CampaignEngine, injector: str,
+                    backend: str) -> str:
     """Fault attribution for the route application."""
     from repro.core.recovery import NO_DETECTION
     from repro.harness.config import ExperimentConfig
@@ -196,7 +212,7 @@ def _render_anatomy(packets: int, seeds: "tuple[int, ...]",
     runs = engine.run([ExperimentConfig(
         app="route", packet_count=packets, seed=seed, cycle_time=0.25,
         policy=NO_DETECTION, fault_scale=20.0, planes="data",
-        injector=injector)
+        injector=injector, backend=backend)
         for seed in seeds])
     sites = []
     regions = None
@@ -220,16 +236,21 @@ def _build_engine(cache_dir: "str | None",
     return CampaignEngine(store=store, max_workers=max_workers)
 
 
-def _render_job(job: "tuple[str, int, tuple[int, ...], str | None, int, str]",
+def _render_job(job: "tuple[str, int, tuple[int, ...], str | None, int, "
+                     "str, str]",
                 ) -> "tuple[str, dict[str, int]]":
     """Render one experiment id (picklable worker for --max-workers).
 
     Returns the artifact text plus the job engine's counter snapshot so
     the parent can aggregate a campaign summary across processes.
     """
-    name, packets, seeds, cache_dir, engine_workers, injector = job
+    name, packets, seeds, cache_dir, engine_workers, injector, backend = job
+    # Re-applied per worker process: spawned workers do not inherit the
+    # parent's trace-store configuration.
+    configure_backend(backend, cache_dir)
     engine = _build_engine(cache_dir, engine_workers)
-    output = _experiment_renderers()[name](packets, seeds, engine, injector)
+    output = _experiment_renderers()[name](packets, seeds, engine, injector,
+                                           backend)
     return output, engine.counters.snapshot()
 
 
@@ -255,7 +276,8 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artifacts of 'A Case for Clumsy Packet "
-                    "Processors' (MICRO-37, 2004)")
+                    "Processors' (MICRO-37, 2004)",
+        parents=[backend_parent_parser()])
     parser.add_argument("experiment",
                         choices=sorted(renderers) + ["all", "trace",
                                                      "traffic", "lint"],
@@ -306,7 +328,7 @@ def main(argv: "list[str] | None" = None) -> int:
     job_workers = args.max_workers if len(names) > 1 else 1
     engine_workers = args.max_workers if len(names) == 1 else 1
     jobs = [(name, args.packets, seeds, cache_dir, engine_workers,
-             args.injector)
+             args.injector, args.backend)
             for name in names]
     totals: "dict[str, int]" = {}
     for output, counters in map_parallel(_render_job, jobs,

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import NO_DETECTION, RecoveryPolicy, policy_by_name
+from repro.harness.backends import BACKEND_NAMES
 from repro.mem.faults import INJECTOR_NAMES
 from repro.traffic.generators import SCENARIO_NAMES
 
@@ -48,6 +49,15 @@ class ExperimentConfig:
     access).  The two are statistically indistinguishable but not
     RNG-stream identical, so absolute fault placements differ run to
     run; see EXPERIMENTS.md for when results are comparable.
+
+    ``backend`` selects the execution strategy (see
+    :data:`repro.harness.backends.BACKEND_NAMES`): ``"execute"`` runs
+    the full Python kernel faithfully, ``"replay"`` sweeps a recorded
+    access trace through the vectorized replayer (recording the trace
+    on first use, falling back to faithful execution when the fault
+    law touches a branched-on value).  The backend is part of a
+    config's identity -- the two lanes are verified equivalent by the
+    oracle's replay twin but cached separately.
     """
 
     app: str
@@ -70,6 +80,7 @@ class ExperimentConfig:
     injector: str = "reference"
     scenario: "str | None" = None
     workload_kwargs: "dict[str, object]" = field(default_factory=dict)
+    backend: str = "execute"
     # Typed as object to keep this module telemetry-agnostic; any value
     # with the Tracer protocol (emit/finish/enabled) works.
     tracer: "object | None" = field(default=None, compare=False,
@@ -111,6 +122,10 @@ class ExperimentConfig:
             raise ValueError(
                 f"scenario must be one of {SCENARIO_NAMES}, "
                 f"got {self.scenario!r}")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}")
 
     @property
     def label(self) -> str:
@@ -123,6 +138,8 @@ class ExperimentConfig:
             label += f"/{self.injector}"
         if self.scenario is not None:
             label += f"/{self.scenario}"
+        if self.backend != "execute":
+            label += f"/{self.backend}"
         return label
 
     def golden(self) -> "ExperimentConfig":
@@ -185,6 +202,7 @@ class ExperimentConfig:
             "injector": self.injector,
             "scenario": self.scenario,
             "workload_kwargs": dict(self.workload_kwargs),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -208,7 +226,7 @@ class ExperimentConfig:
             "quarter_cycle_multiplier", "memory_size", "l1_size_bytes",
             "l1_associativity", "burst_start_probability", "burst_length",
             "burst_multiplier", "l2_fill_fault_probability",
-            "injector", "scenario", "workload_kwargs"}
+            "injector", "scenario", "workload_kwargs", "backend"}
         unknown = sorted(set(payload) - field_names)
         if unknown:
             raise ValueError(
@@ -219,6 +237,24 @@ class ExperimentConfig:
         if "workload_kwargs" in kwargs:
             kwargs["workload_kwargs"] = dict(kwargs["workload_kwargs"])
         return cls(policy=policy, **kwargs)
+
+    def with_options(self, **overrides: object) -> "ExperimentConfig":
+        """This config with the named fields replaced (keyword-only).
+
+        The sanctioned way to derive config variants -- seed replicas,
+        injector twins, backend switches -- replacing the scattered
+        ``dataclasses.replace`` call sites.  Unknown keys are rejected
+        with the full field list (``dataclasses.replace`` would too,
+        but with a constructor-shaped error); validation runs through
+        ``__post_init__`` as usual.
+        """
+        field_names = tuple(self.__dataclass_fields__)
+        unknown = sorted(set(overrides) - set(field_names))
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig field(s) {unknown}; "
+                f"available fields: {field_names}")
+        return replace(self, **overrides)  # type: ignore[arg-type]
 
     def with_tracer(self, tracer: "object | None") -> "ExperimentConfig":
         """This config with a tracer attached (identity unchanged)."""

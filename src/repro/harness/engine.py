@@ -26,6 +26,7 @@ equality tests assert ``repr``-identity between the two paths.
 
 from __future__ import annotations
 
+from repro.harness.backends import backend_runner, register_backend
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.parallel import map_parallel
@@ -104,9 +105,8 @@ class CampaignEngine:
         done = 0
         for start in range(0, len(pending), self.chunk_size):
             chunk = pending[start:start + self.chunk_size]
-            outcomes = map_parallel(_worker,
-                                    [config for _, config in chunk],
-                                    max_workers=self.max_workers)
+            outcomes = self._simulate_chunk(
+                [config for _, config in chunk])
             if self.store is not None:
                 self.store.put_many(outcomes)
             for (key, _), outcome in zip(chunk, outcomes):
@@ -119,6 +119,31 @@ class CampaignEngine:
                          f"({hits} cached)")
         return [resolved[key] for key in keys]
 
+    def _simulate_chunk(
+            self,
+            configs: "list[ExperimentConfig]") -> "list[ExperimentResult]":
+        """Simulate one chunk, dispatching each config's backend.
+
+        The ``execute`` group keeps the process-pool fan-out; any other
+        backend receives its sub-batch in one registry call (the replay
+        backend amortises trace loading across the batch).  Results come
+        back index-aligned with ``configs``.
+        """
+        outcomes: "list[ExperimentResult | None]" = [None] * len(configs)
+        by_backend: "dict[str, list[int]]" = {}
+        for index, config in enumerate(configs):
+            by_backend.setdefault(config.backend, []).append(index)
+        for backend, indices in by_backend.items():
+            batch = [configs[index] for index in indices]
+            if backend == "execute":
+                results = map_parallel(_worker, batch,
+                                       max_workers=self.max_workers)
+            else:
+                results = backend_runner(backend)(batch)
+            for index, result in zip(indices, results):
+                outcomes[index] = result
+        return outcomes  # type: ignore[return-value]
+
     def run_one(
         self,
         config: ExperimentConfig,
@@ -130,9 +155,20 @@ class CampaignEngine:
         An ``injector_override`` makes the outcome depend on state outside
         the config, so it must never be filed under the config's content
         address; this path bypasses the store entirely while still
-        counting toward the campaign's progress counters.
+        counting toward the campaign's progress counters.  Overrides and
+        tracers observe the faithful kernel, so they require the
+        ``execute`` backend.
         """
+        if config.backend != "execute" and (
+                injector_override is not None or tracer is not None
+                or config.tracer is not None):
+            raise ValueError(
+                f"injector overrides and tracers observe the faithful "
+                f"kernel; they require backend='execute', got "
+                f"{config.backend!r}")
         self.counters.bump("campaign.uncacheable")
+        if config.backend != "execute":
+            return backend_runner(config.backend)([config])[0]
         return run_experiment(config, injector_override=injector_override,
                               tracer=tracer)
 
@@ -164,3 +200,36 @@ _DEFAULT_ENGINE = CampaignEngine()
 def default_engine() -> CampaignEngine:
     """The process-wide default engine (no store, serial, no progress)."""
     return _DEFAULT_ENGINE
+
+
+def run(config: ExperimentConfig, *,
+        backend: "str | None" = None,
+        tracer: "object | None" = None,
+        engine: "CampaignEngine | None" = None) -> ExperimentResult:
+    """The unified single-run entry point (``repro.api.run``).
+
+    Runs one config through an engine, picking the execution lane from
+    ``backend`` (overriding ``config.backend`` when given; see
+    :data:`repro.harness.backends.BACKEND_NAMES`).  A ``tracer`` routes
+    through the uncacheable :meth:`CampaignEngine.run_one` path (tracing
+    observes the faithful kernel, so it requires the ``execute``
+    backend); ``engine`` defaults to the process-wide
+    :func:`default_engine`.  Sweeps should call
+    :meth:`CampaignEngine.run` directly to batch configs.
+    """
+    if backend is not None:
+        config = config.with_options(backend=backend)
+    if engine is None:
+        engine = default_engine()
+    if tracer is not None or config.tracer is not None:
+        return engine.run_one(config, tracer=tracer)
+    return engine.run([config])[0]
+
+
+def _execute_backend(
+        configs: "list[ExperimentConfig]") -> "list[ExperimentResult]":
+    """The faithful backend: every config runs the full kernel serially."""
+    return [run_experiment(config) for config in configs]
+
+
+register_backend("execute", _execute_backend)

@@ -152,12 +152,14 @@ def error_behavior(
     fault_scale: float = DEFAULT_FAULT_SCALE,
     engine: "CampaignEngine | None" = None,
     injector: str = "reference",
+    backend: str = "execute",
 ) -> "dict[str, dict[float, dict[str, float]]]":
     """plane -> Cr -> category -> mean error probability (plus 'fatal')."""
     configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed,
         cycle_time=cycle_time, policy=NO_DETECTION,
-        fault_scale=fault_scale, planes=plane, injector=injector)
+        fault_scale=fault_scale, planes=plane, injector=injector,
+        backend=backend)
         for plane in planes for cycle_time in cycle_times for seed in seeds]
     outcomes = iter(_engine(engine).run(configs))
     results: "dict[str, dict[float, dict[str, float]]]" = {}
@@ -220,6 +222,7 @@ def fig8_fatal_probabilities(
     fault_scale: float = DEFAULT_FAULT_SCALE,
     engine: "CampaignEngine | None" = None,
     injector: str = "reference",
+    backend: str = "execute",
 ) -> "dict[str, dict[float, float]]":
     """app -> Cr -> fatal errors per offered packet (no detection).
 
@@ -229,7 +232,7 @@ def fig8_fatal_probabilities(
     configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed,
         cycle_time=cycle_time, policy=NO_DETECTION,
-        fault_scale=fault_scale, injector=injector)
+        fault_scale=fault_scale, injector=injector, backend=backend)
         for app in apps for cycle_time in cycle_times for seed in seeds]
     outcomes = iter(_engine(engine).run(configs))
     results: "dict[str, dict[float, float]]" = {}
@@ -300,6 +303,7 @@ def edf_products(
     exponents: MetricExponents = PAPER_EXPONENTS,
     engine: "CampaignEngine | None" = None,
     injector: str = "reference",
+    backend: str = "execute",
 ) -> "list[EdfCell]":
     """Every (policy, setting) bar for one application.
 
@@ -313,12 +317,12 @@ def edf_products(
             app=app, packet_count=packet_count, seed=seed,
             cycle_time=1.0 if setting == "dynamic" else setting,
             policy=policy, dynamic=setting == "dynamic",
-            fault_scale=fault_scale, injector=injector)
+            fault_scale=fault_scale, injector=injector, backend=backend)
 
     baseline_configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed, cycle_time=1.0,
         policy=NO_DETECTION, fault_scale=fault_scale,
-        injector=injector) for seed in seeds]
+        injector=injector, backend=backend) for seed in seeds]
     cell_configs = [cell_config(policy, setting, seed)
                     for policy in policies for setting in settings
                     for seed in seeds]

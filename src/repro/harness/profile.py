@@ -46,9 +46,13 @@ def profile_workload(app: str, packet_count: int = 300, seed: int = 7,
     """Measure a workload's profile with one fault-free run.
 
     The profiling run is exactly the golden reference run of the
-    workload's configuration (``ExperimentConfig.golden()``), so the
-    profile describes the same execution the experiment runner compares
-    against.
+    workload's configuration (``ExperimentConfig.golden()``, which
+    always carries the ``execute`` backend), so the profile describes
+    the same execution the experiment runner compares against.  It
+    deliberately bypasses :func:`repro.harness.engine.run`: the profile
+    reads the live hierarchy and processor counters from the raw
+    :class:`RunOutcome`, which no backend's reduced
+    :class:`ExperimentResult` exposes.
     """
     config = ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed,

@@ -45,7 +45,9 @@ from repro.harness.experiment import ExperimentResult
 #: v2: the config JSON schema gained the ``injector`` field.
 #: v3: the config JSON schema gained the ``scenario`` field
 #: (traffic-scenario workloads).
-CODE_VERSION = "clumsy-repro-v3"
+#: v4: the config JSON schema gained the ``backend`` field
+#: (trace-replay execution backend).
+CODE_VERSION = "clumsy-repro-v4"
 
 #: Hex digits of the chunk-key digest used in chunk file names.
 _CHUNK_DIGEST_LENGTH = 12

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.recovery import RecoveryPolicy
 from repro.harness.config import ExperimentConfig
@@ -60,15 +60,15 @@ def sweep(
             for cycle_time in cycle_times
             for policy in policy_axis
             for scale in scale_axis]
-    configs = [replace(base, cycle_time=cycle_time, policy=policy,
-                       fault_scale=scale, seed=seed)
+    configs = [base.with_options(cycle_time=cycle_time, policy=policy,
+                                 fault_scale=scale, seed=seed)
                for cycle_time, policy, scale in axes for seed in seeds]
     outcomes = iter(engine.run(configs))
     points = []
     for cycle_time, policy, scale in axes:
         results = tuple(next(outcomes) for _ in seeds)
         points.append(SweepPoint(
-            config=replace(base, cycle_time=cycle_time,
-                           policy=policy, fault_scale=scale),
+            config=base.with_options(cycle_time=cycle_time,
+                                     policy=policy, fault_scale=scale),
             results=results))
     return points

@@ -39,16 +39,18 @@ def table1_row(app: str, packet_count: int = 300,
                seeds: "tuple[int, ...]" = (7, 11, 23),
                fault_scale: float = DEFAULT_FAULT_SCALE,
                engine: "CampaignEngine | None" = None,
-               injector: str = "reference") -> Table1Row:
+               injector: str = "reference",
+               backend: str = "execute") -> Table1Row:
     """Measure one application's row, averaging fallibility over seeds."""
     engine = engine if engine is not None else default_engine()
     configs = [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seeds[0], cycle_time=1.0,
-        policy=NO_DETECTION, fault_scale=0.0, injector=injector)]
+        policy=NO_DETECTION, fault_scale=0.0, injector=injector,
+        backend=backend)]
     configs += [ExperimentConfig(
         app=app, packet_count=packet_count, seed=seed,
         cycle_time=cycle_time, policy=NO_DETECTION,
-        fault_scale=fault_scale, injector=injector)
+        fault_scale=fault_scale, injector=injector, backend=backend)
         for cycle_time in (0.5, 0.25) for seed in seeds]
     outcomes = iter(engine.run(configs))
     baseline = next(outcomes)
@@ -73,10 +75,11 @@ def table1(packet_count: int = 300,
            seeds: "tuple[int, ...]" = (7, 11, 23),
            fault_scale: float = DEFAULT_FAULT_SCALE,
            engine: "CampaignEngine | None" = None,
-           injector: str = "reference") -> "list[Table1Row]":
+           injector: str = "reference",
+           backend: str = "execute") -> "list[Table1Row]":
     """All seven rows in the paper's order."""
     return [table1_row(app, packet_count, seeds, fault_scale, engine=engine,
-                       injector=injector)
+                       injector=injector, backend=backend)
             for app in NETBENCH_APPS]
 
 

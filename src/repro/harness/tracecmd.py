@@ -15,10 +15,12 @@ boundaries, per-packet completions, and the eventual fatal error.
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
 from repro.core.constants import NETBENCH_APPS, RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import ALL_POLICIES, EXTENSION_POLICIES
+from repro.harness.backends import backend_parent_parser
 from repro.harness.config import PLANES, ExperimentConfig
 from repro.telemetry import Tracer, render_trace_report, write_csv, write_jsonl
 
@@ -42,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
                     for policy in ALL_POLICIES + EXTENSION_POLICIES]
     parser = argparse.ArgumentParser(
         prog="repro trace",
-        description="Run one traced experiment and export its event log")
+        description="Run one traced experiment and export its event log",
+        parents=[backend_parent_parser()])
     parser.add_argument("app", choices=sorted(NETBENCH_APPS),
                         help="NetBench application to trace")
     parser.add_argument("--packets", type=int, default=DEFAULT_PACKETS,
@@ -86,7 +89,7 @@ def run_trace(args: argparse.Namespace) -> int:
     """Execute one traced experiment and export/print its telemetry."""
     # Imported here so ``--help`` stays fast and the harness package's
     # import graph stays acyclic at module load.
-    from repro.harness.experiment import run_experiment
+    from repro.harness.engine import run
 
     # The CLI namespace is untyped field data, so it flows through the
     # canonical deserialization path (policy resolved by name) and the
@@ -98,9 +101,16 @@ def run_trace(args: argparse.Namespace) -> int:
         "policy": args.policy, "dynamic": args.dynamic,
         "fault_scale": args.fault_scale, "planes": args.planes,
         "l2_fill_fault_probability": args.l2_fill,
+        "backend": args.backend,
     }).with_tracer(Tracer(epoch_packets=args.epoch))
     tracer = config.tracer
-    result = run_experiment(config)
+    # Tracers observe the faithful kernel, so run() rejects any other
+    # backend for traced configs; surface that as a CLI usage error.
+    try:
+        result = run(config)
+    except ValueError as error:
+        print(f"repro trace: {error}", file=sys.stderr)
+        return 2
 
     out_dir = Path(args.out)
     jsonl_path = out_dir / f"{args.app}.events.jsonl"

@@ -4,7 +4,7 @@ A differential oracle needs no specification: run the *same*
 :class:`~repro.harness.config.ExperimentConfig` through two execution
 paths that must agree, and diff the
 :class:`~repro.harness.experiment.ExperimentResult` objects field by
-field.  Three path pairs cover the harness' riskiest seams:
+field.  Four path pairs cover the harness' riskiest seams:
 
 ``workers``
     serial (``max_workers=1``) vs process-pool (``max_workers=N``)
@@ -24,6 +24,13 @@ field.  Three path pairs cover the harness' riskiest seams:
     :mod:`repro.harness.stats` machinery: a pooled chi-square on the
     per-access fault proportions and a two-sample Kolmogorov-Smirnov
     test on the per-seed fallibility samples.
+``replay``
+    faithful execution vs the trace-replay backend (the PR 7 seam),
+    both contract halves: the *fault-free* variant of the config must
+    agree bit-for-bit (``config`` excluded -- the backend field
+    legitimately differs), and the faulted config must agree under the
+    same chi-square/KS machinery as the injector pair (replay samples
+    fault sites directly instead of executing them).
 
 Every disagreement is a typed :class:`Divergence` record; an empty list
 is the oracle's "these paths agree" verdict.
@@ -32,7 +39,7 @@ is the oracle's "these paths agree" verdict.
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.harness.config import ExperimentConfig
 from repro.harness.engine import CampaignEngine
@@ -47,7 +54,7 @@ from repro.harness.store import ResultStore
 from repro.telemetry.metrics import CounterSet
 
 #: The execution-path pairs ``run_differential`` exercises, in order.
-DIFFERENTIAL_PATHS = ("workers", "cache", "injector")
+DIFFERENTIAL_PATHS = ("workers", "cache", "injector", "replay")
 
 #: Significance level of the statistical comparisons.  0.001 keeps the
 #: all-apps quick check's family-wise false-alarm rate well under 1%.
@@ -62,7 +69,7 @@ MIN_FAULTS_FOR_CHI2 = 20
 class Divergence:
     """One field on which two execution paths disagreed."""
 
-    path: str        #: which pair (``workers``/``cache``/``injector``)
+    path: str        #: pair (``workers``/``cache``/``injector``/``replay``)
     config: str      #: config label the twin ran
     field: str       #: result field or statistic name
     kind: str        #: ``exact`` or ``statistical``
@@ -116,14 +123,17 @@ def compare_fault_statistics(
         reference: "list[ExperimentResult]",
         geometric: "list[ExperimentResult]",
         alpha: float = STATISTICAL_ALPHA,
-        min_faults: int = MIN_FAULTS_FOR_CHI2) -> "list[Divergence]":
-    """Statistical equivalence of two injector implementations' results.
+        min_faults: int = MIN_FAULTS_FOR_CHI2,
+        path: str = "injector") -> "list[Divergence]":
+    """Statistical equivalence of two fault-sampling paths' results.
 
     ``reference`` and ``geometric`` are seed replicas of the same config
-    under each injector.  Deterministic fields (offered packets) must
-    match exactly; the per-access fault proportion is compared with a
-    pooled 2x2 chi-square and the per-seed fallibility samples with a
-    two-sample KS test, both from :mod:`repro.harness.stats`.
+    under each path (injector implementations, or execute vs replay
+    backends -- ``path`` labels the reported divergences).  Deterministic
+    fields (offered packets) must match exactly; the per-access fault
+    proportion is compared with a pooled 2x2 chi-square and the per-seed
+    fallibility samples with a two-sample KS test, both from
+    :mod:`repro.harness.stats`.
     """
     if len(reference) != len(geometric) or not reference:
         raise ValueError("need matching non-empty replica lists")
@@ -132,7 +142,7 @@ def compare_fault_statistics(
     for ref, geo in zip(reference, geometric):
         if ref.offered_packets != geo.offered_packets:
             divergences.append(Divergence(
-                path="injector", config=label, field="offered_packets",
+                path=path, config=label, field="offered_packets",
                 kind="exact", left=str(ref.offered_packets),
                 right=str(geo.offered_packets),
                 detail="the workload is injector-independent"))
@@ -153,12 +163,12 @@ def compare_fault_statistics(
         critical = chi_square_critical(1, alpha)
         if statistic > critical:
             divergences.append(Divergence(
-                path="injector", config=label, field="fault_rate",
+                path=path, config=label, field="fault_rate",
                 kind="statistical",
                 left=f"{ref_faults}/{ref_accesses}",
                 right=f"{geo_faults}/{geo_accesses}",
                 detail=f"chi2={statistic:.2f} > critical={critical:.2f} "
-                       f"at alpha={alpha}: the injectors sample "
+                       f"at alpha={alpha}: the paths sample "
                        f"different fault laws"))
     if len(reference) >= 2:
         ref_samples = [result.fallibility for result in reference]
@@ -168,7 +178,7 @@ def compare_fault_statistics(
                                           len(geo_samples), alpha=alpha)
         if statistic > critical:
             divergences.append(Divergence(
-                path="injector", config=label, field="fallibility",
+                path=path, config=label, field="fallibility",
                 kind="statistical",
                 left=_render_value([round(s, 4) for s in ref_samples]),
                 right=_render_value([round(s, 4) for s in geo_samples]),
@@ -183,7 +193,7 @@ def compare_fault_statistics(
 
 def _replicas(config: ExperimentConfig,
               seeds: "tuple[int, ...]") -> "list[ExperimentConfig]":
-    return [replace(config, seed=seed) for seed in seeds]
+    return [config.with_options(seed=seed) for seed in seeds]
 
 
 def _workers_twin(config: ExperimentConfig, seeds: "tuple[int, ...]",
@@ -225,10 +235,38 @@ def _injector_twin(config: ExperimentConfig,
                    seeds: "tuple[int, ...]") -> "list[Divergence]":
     engine = CampaignEngine(max_workers=1)
     reference = engine.run(
-        _replicas(replace(config, injector="reference"), seeds))
+        _replicas(config.with_options(injector="reference"), seeds))
     geometric = engine.run(
-        _replicas(replace(config, injector="geometric"), seeds))
+        _replicas(config.with_options(injector="geometric"), seeds))
     return compare_fault_statistics(reference, geometric)
+
+
+def _replay_twin(config: ExperimentConfig,
+                 seeds: "tuple[int, ...]") -> "list[Divergence]":
+    """Execute vs trace-replay, both halves of the backend contract.
+
+    The fault-free variant must agree bit-for-bit on every field except
+    ``config`` (whose ``backend`` legitimately differs); the faulted
+    config -- where replay samples fault sites instead of executing
+    them -- must agree statistically, exactly like the injector pair.
+    """
+    engine = CampaignEngine(max_workers=1)
+    divergences: "list[Divergence]" = []
+    fault_free = config.with_options(fault_scale=0.0)
+    executed = engine.run(
+        _replicas(fault_free.with_options(backend="execute"), seeds))
+    replayed = engine.run(
+        _replicas(fault_free.with_options(backend="replay"), seeds))
+    for left, right in zip(executed, replayed):
+        divergences.extend(
+            diff_results("replay", left, right, ignore=("config",)))
+    executed = engine.run(
+        _replicas(config.with_options(backend="execute"), seeds))
+    replayed = engine.run(
+        _replicas(config.with_options(backend="replay"), seeds))
+    divergences.extend(
+        compare_fault_statistics(executed, replayed, path="replay"))
+    return divergences
 
 
 def run_differential(config: ExperimentConfig,
@@ -259,8 +297,10 @@ def run_differential(config: ExperimentConfig,
             divergences.extend(_workers_twin(config, seeds, workers))
         elif path == "cache":
             divergences.extend(_cache_twin(config, seeds))
-        else:
+        elif path == "injector":
             divergences.extend(_injector_twin(config, seeds))
+        else:
+            divergences.extend(_replay_twin(config, seeds))
     if counters is not None:
         counters.bump("oracle.differential.divergences", len(divergences))
     return divergences

@@ -133,3 +133,40 @@ class TestCli:
     def test_simulated_experiment_small(self, capsys):
         assert main(["fig8", "--packets", "30", "--seeds", "3"]) == 0
         assert "fatal error" in capsys.readouterr().out
+
+    def test_backend_flag_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = " ".join(capsys.readouterr().out.split())
+        assert "--backend {execute,replay}" in help_text
+        assert "falling back to faithful execution" in help_text
+
+    def test_backend_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--backend", "interpret"])
+        assert "--backend" in capsys.readouterr().err
+
+    def test_replay_backend_runs_simulated_experiment(self, capsys):
+        from repro.replay import TraceStore, set_trace_store
+
+        previous = set_trace_store(TraceStore())
+        try:
+            assert main(["fig6", "--packets", "25", "--seeds", "3",
+                         "--backend", "replay"]) == 0
+        finally:
+            set_trace_store(previous)
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_replay_traces_persist_under_cache_dir(self, tmp_path,
+                                                   capsys):
+        from repro.replay import TraceStore, set_trace_store
+
+        previous = set_trace_store(TraceStore())
+        try:
+            assert main(["fig6", "--packets", "25", "--seeds", "3",
+                         "--backend", "replay",
+                         "--cache-dir", str(tmp_path)]) == 0
+        finally:
+            set_trace_store(previous)
+        capsys.readouterr()
+        assert list((tmp_path / "traces").glob("trace-*.npz"))

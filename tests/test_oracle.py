@@ -14,6 +14,7 @@ from dataclasses import replace
 import pytest
 from hypothesis import given, settings
 
+from repro.harness import backends as harness_backends
 from repro.harness.config import ExperimentConfig
 from repro.harness.engine import CampaignEngine
 from repro.harness.experiment import run_experiment
@@ -120,6 +121,36 @@ class TestDifferential:
             run_differential(make_config(), paths=("nope",))
         with pytest.raises(ValueError):
             run_differential(make_config(), seeds=())
+
+    def test_replay_twin_is_a_differential_path(self):
+        assert "replay" in DIFFERENTIAL_PATHS
+
+    def test_replay_twin_clean_on_small_config(self):
+        counters = CounterSet()
+        divergences = run_differential(make_config(), seeds=(7, 11),
+                                       paths=("replay",),
+                                       counters=counters)
+        assert divergences == []
+        assert counters.get("oracle.differential.paths") == 1
+
+    def test_replay_twin_catches_tampered_backend(self, monkeypatch):
+        """Falsifiability: a replay backend that mispaints one count is
+        caught by the twin's exact fault-free arm."""
+        from repro.replay import backend as replay_backend
+
+        real = replay_backend.run_replay
+
+        def tampered(configs):
+            results = real(configs)
+            return [replace(result,
+                            instructions=result.instructions + 1)
+                    for result in results]
+
+        monkeypatch.setitem(harness_backends._BACKEND_RUNNERS,
+                            "replay", tampered)
+        divergences = run_differential(make_config(), seeds=(7,),
+                                       paths=("replay",))
+        assert any(d.field == "instructions" for d in divergences)
 
 
 class TestInvariants:

@@ -20,18 +20,25 @@ On-disk layout (``cache_dir/``)::
     chunk-<digest12>.jsonl     one line per result:
                                {"key": <config key>, "result": {...}}
 
-Chunk files are written atomically -- serialized to
-``.tmp-<digest12>`` in the same directory, then ``os.replace``d into
-place -- so a killed campaign never leaves a half-written entry visible.
-A chunk's name is derived from the keys it contains, which keeps rewrites
-of the same configs idempotent.  Corrupt lines (a torn write from a hard
-kill, manual truncation) are *skipped and counted*, never fatal: the
-affected configs simply read as missing and re-run.
+Chunk files are written atomically -- serialized to a ``.tmp-*``
+sibling in the same directory, then ``os.replace``d into place -- so a
+killed campaign never leaves a half-written entry visible.  The temp
+name is unique per writer (pid + a process-local sequence number):
+multiple engines sharing one cache directory -- the campaign service
+runs one worker process per core against a single store -- must never
+interleave bytes into a shared temp file, even when they race to
+persist the *same* chunk.  A chunk's final name is derived from the
+keys it contains, which keeps rewrites of the same configs idempotent:
+racing writers of one chunk replace the file with identical bytes.
+Corrupt lines (a torn write from a hard kill, manual truncation) are
+*skipped and counted*, never fatal: the affected configs simply read as
+missing and re-run.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
@@ -51,6 +58,11 @@ CODE_VERSION = "clumsy-repro-v4"
 
 #: Hex digits of the chunk-key digest used in chunk file names.
 _CHUNK_DIGEST_LENGTH = 12
+
+#: Process-local sequence for temp-file uniqueness: two stores (or two
+#: threads of one service) in the same process writing the same chunk
+#: concurrently must not share a temp path either.
+_TEMP_SEQUENCE = itertools.count()
 
 
 def canonical_json(payload: object) -> str:
@@ -188,8 +200,10 @@ class ResultStore:
         The chunk is serialized to a temporary sibling and renamed into
         place (``os.replace``), so readers -- including a resumed run of
         this same campaign -- see either none or all of the chunk.  The
-        file name derives from the chunk's keys, making rewrites of
-        identical chunks idempotent.
+        temp name is unique per writer (see :meth:`_temp_path`), so
+        concurrent engines sharing this cache directory cannot
+        interleave bytes; the final name derives from the chunk's keys,
+        making rewrites of identical chunks idempotent.
         """
         if not results:
             return None
@@ -202,13 +216,26 @@ class ResultStore:
             "\n".join(key for key, _ in entries).encode("utf-8"),
         ).hexdigest()[:_CHUNK_DIGEST_LENGTH]
         final = self.cache_dir / f"chunk-{digest}.jsonl"
-        temp = self.cache_dir / f".tmp-{digest}"
+        temp = self._temp_path(digest)
         text = "".join(
             json.dumps({"key": key, "result": result.to_json()}) + "\n"
             for key, result in entries)
         temp.write_text(text)
         os.replace(temp, final)
         return final
+
+    def _temp_path(self, digest: str) -> Path:
+        """A writer-unique temp sibling for the chunk named ``digest``.
+
+        Suffixing pid + a process-local counter guarantees no two
+        writers -- across processes (service workers) or threads (one
+        service's handlers) -- ever open the same temp file, closing the
+        interleaved-write hazard a digest-only name had.  Residue from a
+        killed writer is invisible to :meth:`refresh` (it only globs
+        ``*.jsonl``) and gets overwritten-by-rename never, reused never.
+        """
+        return self.cache_dir / (
+            f".tmp-{digest}-{os.getpid()}-{next(_TEMP_SEQUENCE)}")
 
     def put(self, result: ExperimentResult) -> "Path | None":
         """Persist a single result (one-entry chunk)."""

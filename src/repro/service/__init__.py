@@ -1,0 +1,77 @@
+"""repro.service: the distributed campaign service.
+
+The ROADMAP's production north-star needs sweeps far larger than one
+foreground :class:`~repro.harness.engine.CampaignEngine` call can hold:
+the paper's claims live in (Cr, scheme, injector, scenario, seed)
+cartesian products, and a million-config product must stream, survive
+worker death, and resume for free.  This package promotes the campaign
+machinery into a long-running service:
+
+* :mod:`repro.service.queue` -- a sharded work queue.  A sweep is cut
+  into deterministic chunks keyed by the store's sha256 config digests;
+  chunks are leased to workers under a visibility timeout, retried with
+  exponential backoff when a worker dies mid-lease, and dead-lettered
+  after bounded retries so one poison config never stalls the queue.
+* :mod:`repro.service.server` -- :class:`CampaignService` (campaign
+  bookkeeping over one shared content-addressed
+  :class:`~repro.harness.store.ResultStore`) plus the
+  ``python -m repro serve`` HTTP front-end (stdlib ``http.server``,
+  JSON bodies) with submit/status/results/cancel endpoints and
+  backpressure (HTTP 429) so submission streams chunk-by-chunk.
+* :mod:`repro.service.worker` -- the crash-safe worker loop: pull a
+  lease, dispatch each config through the execution-backend registry,
+  persist via the atomic JSONL store (one chunk file per config, so a
+  SIGKILL loses at most the in-flight config), heartbeat progress.
+* :mod:`repro.service.client` -- the thin HTTP client behind
+  ``repro.api.submit_campaign`` / ``poll_campaign`` /
+  ``fetch_results``.
+
+Everything stays exactly-once *by construction*, not by protocol: a
+result's identity is its config's content address, so a retried chunk
+re-persists byte-identical entries and duplicates are impossible.  The
+oracle's ``service`` differential twin asserts the whole pipeline is
+repr-identical to a serial engine run.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    fetch_results,
+    poll_campaign,
+    submit_campaign,
+)
+from repro.service.queue import (
+    DeadLetter,
+    Lease,
+    QueueFull,
+    WorkChunk,
+    WorkQueue,
+    shard_sweep,
+)
+from repro.service.server import CampaignService, start_service
+from repro.service.worker import (
+    drain_service,
+    process_chunk,
+    run_service_sweep,
+    run_worker,
+)
+
+__all__ = [
+    "CampaignService",
+    "DeadLetter",
+    "Lease",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceError",
+    "WorkChunk",
+    "WorkQueue",
+    "drain_service",
+    "fetch_results",
+    "poll_campaign",
+    "process_chunk",
+    "run_service_sweep",
+    "run_worker",
+    "shard_sweep",
+    "start_service",
+    "submit_campaign",
+]

@@ -1,0 +1,190 @@
+"""CLI for the campaign service: ``repro serve`` and ``repro work``.
+
+``serve`` runs the HTTP front-end in the foreground, optionally
+supervising a local worker pool: ``--workers N`` spawns N
+``python -m repro work`` subprocesses pointed at the server and restarts
+any that die (the service's lease-expiry machinery has already requeued
+whatever a dead worker held, so a restart is pure capacity recovery).
+
+``work`` runs one worker loop against a remote server -- the unit the
+fault-injection tests SIGKILL, and the unit a multi-host deployment
+starts per core next to a shared cache directory.  Its fault-injection
+flags (``--poison-key``, ``--stall-key``) exist for the test suite and
+drills; they do nothing unless a matching config key passes through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import List
+
+from repro.service.server import DEFAULT_SERVICE_CHUNK_SIZE, start_service
+from repro.service.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_MAX_RETRIES,
+)
+from repro.service.worker import DEFAULT_POLL_INTERVAL, run_worker
+
+#: Default cache directory, shared with the harness CLI.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Seconds between supervisor sweeps over the local worker pool.
+SUPERVISOR_INTERVAL = 0.5
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="run the campaign service HTTP front-end")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 8642)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="shared content-addressed result store "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--chunk-size", type=int,
+                        default=DEFAULT_SERVICE_CHUNK_SIZE,
+                        help="configs per work chunk / retry unit "
+                             f"(default {DEFAULT_SERVICE_CHUNK_SIZE})")
+    parser.add_argument("--lease-timeout", type=float,
+                        default=DEFAULT_LEASE_TIMEOUT,
+                        help="visibility timeout before a silent "
+                             "worker's chunk is re-queued, seconds "
+                             f"(default {DEFAULT_LEASE_TIMEOUT})")
+    parser.add_argument("--max-retries", type=int,
+                        default=DEFAULT_MAX_RETRIES,
+                        help="re-leases of one chunk before it "
+                             f"dead-letters (default {DEFAULT_MAX_RETRIES})")
+    parser.add_argument("--max-pending", type=int,
+                        default=DEFAULT_MAX_PENDING,
+                        help="in-flight chunk bound before submissions "
+                             "get HTTP 429 backpressure "
+                             f"(default {DEFAULT_MAX_PENDING})")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="local worker subprocesses to spawn and "
+                             "supervise (default 0: workers are "
+                             "started separately with 'repro work')")
+    return parser
+
+
+def _work_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro work",
+        description="run one campaign worker against a service")
+    parser.add_argument("--url", required=True,
+                        help="service base URL, e.g. "
+                             "http://127.0.0.1:8642")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="shared content-addressed result store "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--worker-id", default="",
+                        help="name reported on leases "
+                             "(default: worker-<pid>)")
+    parser.add_argument("--poll-interval", type=float,
+                        default=DEFAULT_POLL_INTERVAL,
+                        help="idle nap between empty lease polls, "
+                             f"seconds (default {DEFAULT_POLL_INTERVAL})")
+    parser.add_argument("--max-chunks", type=int, default=None,
+                        help="exit after this many chunks "
+                             "(default: unbounded)")
+    parser.add_argument("--idle-exit", type=int, default=None,
+                        help="exit after this many consecutive empty "
+                             "polls (default: poll forever)")
+    parser.add_argument("--poison-key", default=None,
+                        help="fault injection: raise instead of "
+                             "simulating this config key")
+    parser.add_argument("--stall-key", default=None,
+                        help="fault injection: sleep --stall-seconds "
+                             "before simulating this config key")
+    parser.add_argument("--stall-seconds", type=float, default=5.0,
+                        help="stall duration for --stall-key "
+                             "(default 5.0)")
+    return parser
+
+
+def _spawn_worker(url: str, cache_dir: str, index: int,
+                  ) -> "subprocess.Popen[bytes]":
+    """Start one supervised ``repro work`` subprocess."""
+    return subprocess.Popen([
+        sys.executable, "-m", "repro", "work",
+        "--url", url, "--cache-dir", cache_dir,
+        "--worker-id", f"local-{index}",
+    ])
+
+
+def _raise_exit(signum: int, frame: object) -> None:
+    """SIGTERM -> SystemExit, so ``finally`` tears the pool down."""
+    raise SystemExit(0)
+
+
+def main_serve(argv: "List[str]") -> int:
+    """``python -m repro serve``: foreground server + optional pool."""
+    options = _serve_parser().parse_args(argv)
+    signal.signal(signal.SIGTERM, _raise_exit)
+    server, service = start_service(
+        host=options.host, port=options.port,
+        cache_dir=options.cache_dir, chunk_size=options.chunk_size,
+        lease_timeout=options.lease_timeout,
+        max_retries=options.max_retries,
+        max_pending=options.max_pending)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    print(f"repro serve: listening on {url} "
+          f"(store {options.cache_dir}, {len(service.store)} cached "
+          f"result(s))", flush=True)
+    pool: "List[subprocess.Popen[bytes]]" = [
+        _spawn_worker(url, options.cache_dir, index)
+        for index in range(options.workers)]
+    try:
+        if not pool:
+            server.serve_forever()
+            return 0
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        while True:
+            time.sleep(SUPERVISOR_INTERVAL)
+            for index, proc in enumerate(pool):
+                if proc.poll() is not None:
+                    print(f"repro serve: worker local-{index} exited "
+                          f"with {proc.returncode}; restarting",
+                          file=sys.stderr, flush=True)
+                    pool[index] = _spawn_worker(
+                        url, options.cache_dir, index)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+        for proc in pool:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in pool:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def main_work(argv: "List[str]") -> int:
+    """``python -m repro work``: one worker loop, exit 0 when done."""
+    options = _work_parser().parse_args(argv)
+    worker_id = options.worker_id or f"worker-{os.getpid()}"
+    processed = run_worker(
+        options.url, options.cache_dir, worker_id=worker_id,
+        poll_interval=options.poll_interval,
+        max_chunks=options.max_chunks, idle_exit=options.idle_exit,
+        poison_key=options.poison_key, stall_key=options.stall_key,
+        stall_seconds=options.stall_seconds)
+    print(f"repro work: {worker_id} processed {processed} chunk(s)",
+          flush=True)
+    return 0

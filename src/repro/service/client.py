@@ -1,0 +1,220 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+:class:`ServiceClient` wraps ``urllib.request`` with the three behaviours
+every caller needs: JSON bodies both ways, bounded retry-with-backoff on
+transport errors (connection refused, timeouts -- the server may still
+be booting), and translation of the server's status codes into typed
+exceptions (429 -> :class:`~repro.service.queue.QueueFull` so submitters
+back off; anything else 4xx/5xx -> :class:`ServiceError`).
+
+The module-level helpers are the ``repro.api`` surface:
+:func:`submit_campaign` streams a sweep in pages under backpressure,
+:func:`poll_campaign` waits for completion under a deadline, and
+:func:`fetch_results` returns decoded results in submit order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, List, Optional
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult
+from repro.service.queue import QueueFull
+
+#: Default per-request socket timeout (seconds).
+DEFAULT_TIMEOUT = 10.0
+
+#: Default transport-error retries per request.
+DEFAULT_RETRIES = 2
+
+#: Default backoff base between transport retries (seconds).
+DEFAULT_RETRY_BACKOFF = 0.1
+
+#: Default configs per submission page.
+DEFAULT_PAGE_SIZE = 64
+
+
+class ServiceError(RuntimeError):
+    """The service refused a request or could not be reached."""
+
+
+class ServiceClient:
+    """JSON-over-HTTP client with bounded transport retries."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+
+    def get(self, path: str) -> "dict[str, object]":
+        return self._request("GET", path, None)
+
+    def post(self, path: str,
+             body: "dict[str, object]") -> "dict[str, object]":
+        return self._request("POST", path, body)
+
+    def _request(self, method: str, path: str,
+                 body: "Optional[dict[str, object]]",
+                 ) -> "dict[str, object]":
+        """One logical request: retries transport faults, maps statuses.
+
+        An HTTP error response is *not* retried -- the server answered,
+        and re-sending a refused page would not change its mind; only
+        transport-level failures (refused, reset, timed out) burn the
+        retry budget.
+        """
+        url = self.base_url + path
+        data = (None if body is None
+                else json.dumps(body).encode("utf-8"))
+        last_error: "Exception | None" = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return self._decode(response.read())
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code == 429:
+                    raise QueueFull(detail) from None
+                raise ServiceError(
+                    f"{method} {url} -> HTTP {exc.code}: {detail}",
+                ) from None
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError) as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    time.sleep(self.retry_backoff * (2 ** attempt))
+        raise ServiceError(
+            f"{method} {url} unreachable after "
+            f"{self.retries + 1} attempt(s): {last_error}")
+
+    @staticmethod
+    def _decode(raw: bytes) -> "dict[str, object]":
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ServiceError(f"malformed service reply: {payload!r}")
+        return payload
+
+    @staticmethod
+    def _error_detail(exc: "urllib.error.HTTPError") -> str:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return str(payload.get("error", payload))
+        except (ValueError, OSError):
+            return exc.reason or f"HTTP {exc.code}"
+
+
+def _post_until_accepted(
+    client: ServiceClient,
+    path: str,
+    body: "dict[str, object]",
+    deadline: float,
+    clock: "Callable[[], float]",
+    backoff: float,
+) -> "dict[str, object]":
+    """POST under backpressure: on 429, back off and resend verbatim."""
+    while True:
+        try:
+            return client.post(path, body)
+        except QueueFull as exc:
+            if clock() >= deadline:
+                raise ServiceError(
+                    f"backpressure never cleared for {path}: {exc}",
+                ) from None
+            time.sleep(backoff)
+
+
+def submit_campaign(
+    url: str,
+    configs: "List[ExperimentConfig]",
+    page_size: int = DEFAULT_PAGE_SIZE,
+    max_wait: float = 60.0,
+    client: "Optional[ServiceClient]" = None,
+    clock: "Callable[[], float]" = time.monotonic,
+) -> str:
+    """Submit a sweep as a streaming campaign; returns the campaign id.
+
+    Configs go up in ``page_size`` pages so the sweep never materializes
+    on the wire; a 429 (the queue is full of in-flight chunks) backs off
+    and resends the same page until it is accepted or ``max_wait``
+    expires.  The campaign is sealed before returning.
+    """
+    agent = client if client is not None else ServiceClient(url)
+    deadline = clock() + max_wait
+    campaign = str(agent.post("/campaigns", {})["campaign"])
+    for start in range(0, len(configs), page_size):
+        page = configs[start:start + page_size]
+        _post_until_accepted(
+            agent, f"/campaigns/{campaign}/configs",
+            {"configs": [config.to_json() for config in page]},
+            deadline, clock, agent.retry_backoff)
+    _post_until_accepted(agent, f"/campaigns/{campaign}/seal", {},
+                         deadline, clock, agent.retry_backoff)
+    return campaign
+
+
+def poll_campaign(
+    url: str,
+    campaign: str,
+    timeout: float = 60.0,
+    interval: float = 0.1,
+    client: "Optional[ServiceClient]" = None,
+    clock: "Callable[[], float]" = time.monotonic,
+) -> "dict[str, object]":
+    """Wait until a campaign completes; returns its final status.
+
+    Completion includes dead-lettered work -- the queue has settled
+    every chunk -- so the caller inspects ``dead_letters`` (or
+    :func:`fetch_results`'s missing check) to distinguish success from
+    poisoned configs.  Raises :class:`ServiceError` when ``timeout``
+    passes first.
+    """
+    agent = client if client is not None else ServiceClient(url)
+    deadline = clock() + timeout
+    while True:
+        status = agent.get(f"/campaigns/{campaign}")
+        if status.get("complete"):
+            return status
+        if clock() >= deadline:
+            raise ServiceError(
+                f"campaign {campaign} incomplete after {timeout:.1f}s: "
+                f"{status.get('chunks')}")
+        time.sleep(interval)
+
+
+def fetch_results(
+    url: str,
+    campaign: str,
+    allow_missing: bool = False,
+    client: "Optional[ServiceClient]" = None,
+) -> "List[ExperimentResult]":
+    """Fetch a campaign's resolved results, decoded, in submit order.
+
+    By default raises :class:`ServiceError` if any submitted config is
+    still unresolved (unfinished or dead-lettered), so a successful
+    return is a complete sweep; ``allow_missing=True`` returns the
+    partial corpus instead.
+    """
+    agent = client if client is not None else ServiceClient(url)
+    payload = agent.get(f"/campaigns/{campaign}/results")
+    missing = payload.get("missing") or []
+    if missing and not allow_missing:
+        raise ServiceError(
+            f"campaign {campaign} has {len(missing)} unresolved "
+            f"config(s): " + ", ".join(str(key)[:12] for key in missing))
+    return [ExperimentResult.from_json(item)
+            for item in payload["results"]]  # type: ignore[union-attr]

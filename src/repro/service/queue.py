@@ -1,0 +1,435 @@
+"""Sharded work queue: leases, visibility timeouts, retries, dead letters.
+
+A sweep is cut into deterministic :class:`WorkChunk` units -- each
+identified by the SHA-256 of its member configs' content addresses (the
+same digests the :class:`~repro.harness.store.ResultStore` files results
+under), so the *same* sweep shards into the *same* chunks on every
+submission, and a chunk's identity survives server restarts and
+re-submits.
+
+The queue implements the classic visibility-timeout protocol:
+
+1. :meth:`WorkQueue.lease` hands the oldest runnable chunk to a worker
+   under a deadline.  A chunk is leased to at most one worker at a time.
+2. The worker extends its deadline with :meth:`WorkQueue.heartbeat`
+   while simulating, and finishes with :meth:`WorkQueue.complete` (or
+   :meth:`WorkQueue.fail` on an exception).
+3. A lease whose deadline passes without completion -- the worker was
+   SIGKILLed, wedged, or partitioned -- is *expired*: the chunk returns
+   to the runnable set with exponential backoff, up to ``max_retries``
+   re-leases, after which it is dead-lettered with its history.  Expiry
+   is evaluated lazily on every queue interaction, so no background
+   timer thread is needed.
+
+Work is never lost and never duplicated: results are persisted under
+content addresses by the worker, so a chunk that was half-finished when
+its worker died re-runs only the missing configs (the worker's engine
+partitions against the shared store) and re-persists byte-identical
+entries for the rest.
+
+Time is injected (``clock``, defaulting to ``time.monotonic``) so tests
+drive lease expiry deterministically without sleeping; the simulator's
+determinism contract is untouched because queue scheduling can never
+reach a result -- results depend only on their configs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.store import config_key
+from repro.telemetry.metrics import CounterSet
+
+#: Default visibility timeout: how long a worker may hold a lease
+#: without a heartbeat before the chunk is handed to someone else.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Default bound on re-leases of one chunk before it dead-letters.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default base of the exponential retry backoff (seconds).
+DEFAULT_RETRY_BACKOFF = 0.05
+
+#: Default backpressure bound: pending + leased chunks the queue will
+#: hold before :meth:`WorkQueue.submit` refuses with :class:`QueueFull`.
+DEFAULT_MAX_PENDING = 256
+
+#: Hex digits of a chunk id (digest of its member config keys).
+CHUNK_ID_LENGTH = 12
+
+
+class QueueFull(RuntimeError):
+    """Backpressure: the queue holds its maximum of in-flight chunks."""
+
+
+@dataclass(frozen=True)
+class WorkChunk:
+    """One deterministic shard of a sweep.
+
+    ``chunk_id`` is the truncated SHA-256 over the member configs'
+    content addresses, so identical (campaign, configs) shards always
+    produce identical ids -- re-submission after a crash re-creates the
+    same chunks and the store recognises their results.
+    """
+
+    chunk_id: str
+    campaign: str
+    keys: "Tuple[str, ...]"
+    configs: "Tuple[ExperimentConfig, ...]"
+
+    def to_json(self) -> "dict[str, object]":
+        """JSON-safe form (the ``/lease`` response body)."""
+        return {
+            "chunk_id": self.chunk_id,
+            "campaign": self.campaign,
+            "keys": list(self.keys),
+            "configs": [config.to_json() for config in self.configs],
+        }
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "WorkChunk":
+        """Rebuild a chunk from :meth:`to_json` output (worker side)."""
+        return cls(
+            chunk_id=str(data["chunk_id"]),
+            campaign=str(data["campaign"]),
+            keys=tuple(str(key) for key in data["keys"]),
+            configs=tuple(ExperimentConfig.from_json(config)
+                          for config in data["configs"]),
+        )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's exclusive, deadline-bounded hold on a chunk."""
+
+    lease_id: str
+    chunk: WorkChunk
+    worker: str
+    deadline: float
+    attempt: int
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A chunk the queue gave up on, with its failure history."""
+
+    chunk_id: str
+    campaign: str
+    keys: "Tuple[str, ...]"
+    attempts: int
+    error: str
+
+    def to_json(self) -> "dict[str, object]":
+        """JSON-safe form (the status endpoint's listing)."""
+        return {
+            "chunk_id": self.chunk_id,
+            "campaign": self.campaign,
+            "keys": list(self.keys),
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+def chunk_id_for(keys: "Tuple[str, ...]", campaign: str = "") -> str:
+    """The deterministic id of the chunk holding ``keys``."""
+    text = campaign + "\n" + "\n".join(keys)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:CHUNK_ID_LENGTH]
+
+
+def shard_sweep(configs: "List[ExperimentConfig]", chunk_size: int,
+                campaign: str = "") -> "List[WorkChunk]":
+    """Cut a sweep into deterministic, input-ordered chunks.
+
+    Duplicate configs (same content address) collapse onto their first
+    occurrence, exactly as :meth:`CampaignEngine.run` partitions them;
+    the caller maps results back to submit order through the store.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk size must be positive")
+    seen: "set[str]" = set()
+    unique: "List[Tuple[str, ExperimentConfig]]" = []
+    for config in configs:
+        key = config_key(config)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((key, config))
+    chunks: "List[WorkChunk]" = []
+    for start in range(0, len(unique), chunk_size):
+        members = unique[start:start + chunk_size]
+        keys = tuple(key for key, _ in members)
+        chunks.append(WorkChunk(
+            chunk_id=chunk_id_for(keys, campaign),
+            campaign=campaign,
+            keys=keys,
+            configs=tuple(config for _, config in members)))
+    return chunks
+
+
+@dataclass
+class _ChunkState:
+    """Mutable queue-side bookkeeping for one chunk."""
+
+    chunk: WorkChunk
+    status: str = "pending"          #: pending | leased | done | dead
+    attempts: int = 0                #: leases granted so far
+    not_before: float = 0.0          #: backoff gate for the next lease
+    last_error: str = ""             #: most recent failure/expiry reason
+    sequence: int = 0                #: submission order (lease priority)
+    lease: "Optional[Lease]" = field(default=None, repr=False)
+
+
+class WorkQueue:
+    """Thread-safe chunk queue with visibility timeouts and retries.
+
+    All mutation happens under one lock; every public method first
+    sweeps expired leases, so callers observe retry/dead-letter effects
+    without any background thread.  Telemetry lands in ``counters``
+    (``service.chunks``, ``service.leases``, ``service.retries``,
+    ``service.dead_lettered``, ``service.expired_leases``,
+    ``service.completed_chunks``, ``service.stale_completions``,
+    ``service.backpressure``).
+    """
+
+    def __init__(
+        self,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        counters: "CounterSet | None" = None,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.lease_timeout = lease_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_pending = max_pending
+        self.counters = counters if counters is not None else CounterSet()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._states: "Dict[str, _ChunkState]" = {}
+        self._leases: "Dict[str, Lease]" = {}
+        self._sequence = 0
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, chunks: "List[WorkChunk]") -> int:
+        """Enqueue chunks; returns how many were newly added.
+
+        A chunk already known to the queue (any status) is skipped --
+        re-submitting a sweep is idempotent.  Raises :class:`QueueFull`
+        (and enqueues *nothing* from this batch) when accepting the
+        batch would exceed ``max_pending`` in-flight chunks; the HTTP
+        layer maps that to 429 so submission streams instead of
+        materializing.
+        """
+        with self._lock:
+            self._expire()
+            fresh = [chunk for chunk in chunks
+                     if chunk.chunk_id not in self._states]
+            in_flight = sum(1 for state in self._states.values()
+                            if state.status in ("pending", "leased"))
+            if in_flight + len(fresh) > self.max_pending:
+                self.counters.bump("service.backpressure")
+                raise QueueFull(
+                    f"queue holds {in_flight} in-flight chunk(s); "
+                    f"accepting {len(fresh)} more would exceed "
+                    f"max_pending={self.max_pending}")
+            for chunk in fresh:
+                self._sequence += 1
+                self._states[chunk.chunk_id] = _ChunkState(
+                    chunk=chunk, sequence=self._sequence)
+                self.counters.bump("service.chunks")
+            return len(fresh)
+
+    # -- the worker protocol --------------------------------------------------
+
+    def lease(self, worker: str) -> "Optional[Lease]":
+        """Grant the oldest runnable chunk to ``worker`` (None = no work).
+
+        The lease id encodes the attempt number, so a stale completion
+        from a worker that lost its lease can never be confused with the
+        current attempt's.
+        """
+        with self._lock:
+            now = self.clock()
+            self._expire(now)
+            runnable = [state for state in self._states.values()
+                        if state.status == "pending"
+                        and state.not_before <= now]
+            if not runnable:
+                return None
+            state = min(runnable, key=lambda state: state.sequence)
+            state.attempts += 1
+            state.status = "leased"
+            lease = Lease(
+                lease_id=f"{state.chunk.chunk_id}#{state.attempts}",
+                chunk=state.chunk, worker=worker,
+                deadline=now + self.lease_timeout,
+                attempt=state.attempts)
+            state.lease = lease
+            self._leases[lease.lease_id] = lease
+            self.counters.bump("service.leases")
+            return lease
+
+    def heartbeat(self, lease_id: str) -> bool:
+        """Extend a live lease's deadline; False when the lease is gone."""
+        with self._lock:
+            now = self.clock()
+            self._expire(now)
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return False
+            extended = Lease(
+                lease_id=lease.lease_id, chunk=lease.chunk,
+                worker=lease.worker, deadline=now + self.lease_timeout,
+                attempt=lease.attempt)
+            self._leases[lease_id] = extended
+            state = self._states[lease.chunk.chunk_id]
+            state.lease = extended
+            self.counters.bump("service.heartbeats")
+            return True
+
+    def complete(self, lease_id: str) -> str:
+        """Mark a leased chunk done; returns ``done`` or ``stale``.
+
+        A stale completion (the lease expired and the chunk was re-leased
+        or already finished elsewhere) is harmless -- the worker persisted
+        its results under content addresses before calling -- so it is
+        counted and ignored rather than treated as an error.
+        """
+        with self._lock:
+            self._expire()
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                self.counters.bump("service.stale_completions")
+                return "stale"
+            state = self._states[lease.chunk.chunk_id]
+            state.status = "done"
+            state.lease = None
+            self.counters.bump("service.completed_chunks")
+            return "done"
+
+    def fail(self, lease_id: str, error: str) -> str:
+        """Report a worker-side failure; returns ``retry``/``dead``/``stale``.
+
+        A failed chunk re-runs with exponential backoff until its lease
+        budget (1 + ``max_retries``) is exhausted, then dead-letters --
+        the poison-config path: a config whose backend raises
+        deterministically burns its retries and lands in the dead-letter
+        listing without ever stalling the rest of the queue.
+        """
+        with self._lock:
+            now = self.clock()
+            self._expire(now)
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                return "stale"
+            state = self._states[lease.chunk.chunk_id]
+            state.lease = None
+            state.last_error = error
+            return self._retry_or_dead(state, now, error)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self, campaign: "str | None" = None) -> "dict[str, int]":
+        """Chunk counts by status (optionally for one campaign)."""
+        with self._lock:
+            self._expire()
+            counts = {"pending": 0, "leased": 0, "done": 0, "dead": 0}
+            for state in self._states.values():
+                if campaign is not None and \
+                        state.chunk.campaign != campaign:
+                    continue
+                counts[state.status] += 1
+            return counts
+
+    def dead_letters(self, campaign: "str | None" = None,
+                     ) -> "List[DeadLetter]":
+        """Dead-lettered chunks with their failure history, oldest first."""
+        with self._lock:
+            self._expire()
+            dead = [state for state in self._states.values()
+                    if state.status == "dead"
+                    and (campaign is None
+                         or state.chunk.campaign == campaign)]
+            dead.sort(key=lambda state: state.sequence)
+            return [DeadLetter(
+                chunk_id=state.chunk.chunk_id,
+                campaign=state.chunk.campaign,
+                keys=state.chunk.keys,
+                attempts=state.attempts,
+                error=state.last_error) for state in dead]
+
+    def settled(self, chunk_ids: "set[str] | frozenset[str]") -> bool:
+        """Whether every listed chunk is done or dead (campaign finished)."""
+        with self._lock:
+            self._expire()
+            return all(
+                self._states[chunk_id].status in ("done", "dead")
+                for chunk_id in chunk_ids if chunk_id in self._states)
+
+    def simulated_keys(self, chunk_ids: "set[str] | frozenset[str]",
+                       ) -> int:
+        """Configs dispatched into the listed chunks (0 on a warm sweep)."""
+        with self._lock:
+            return sum(len(self._states[chunk_id].chunk.keys)
+                       for chunk_id in chunk_ids
+                       if chunk_id in self._states)
+
+    def cancel(self, chunk_ids: "set[str] | frozenset[str]") -> int:
+        """Drop pending chunks (leased ones finish or expire harmlessly)."""
+        with self._lock:
+            self._expire()
+            dropped = 0
+            for chunk_id in sorted(chunk_ids):
+                state = self._states.get(chunk_id)
+                if state is not None and state.status == "pending":
+                    del self._states[chunk_id]
+                    dropped += 1
+            self.counters.bump("service.cancelled_chunks", dropped)
+            return dropped
+
+    # -- internals ------------------------------------------------------------
+
+    def _expire(self, now: "float | None" = None) -> None:
+        """Reap leases past their deadline (caller holds the lock)."""
+        if now is None:
+            now = self.clock()
+        for lease_id in sorted(self._leases):
+            lease = self._leases[lease_id]
+            if lease.deadline > now:
+                continue
+            del self._leases[lease_id]
+            state = self._states[lease.chunk.chunk_id]
+            state.lease = None
+            self.counters.bump("service.expired_leases")
+            self._retry_or_dead(
+                state, now,
+                f"lease expired after attempt {lease.attempt} "
+                f"(worker {lease.worker})")
+
+    def _retry_or_dead(self, state: _ChunkState, now: float,
+                       error: str) -> str:
+        """Requeue with backoff, or dead-letter past the retry budget."""
+        state.last_error = error
+        if state.attempts > self.max_retries:
+            state.status = "dead"
+            self.counters.bump("service.dead_lettered")
+            return "dead"
+        state.status = "pending"
+        state.not_before = now + self.retry_backoff * (2 **
+                                                       (state.attempts - 1))
+        self.counters.bump("service.retries")
+        return "retry"

@@ -1,0 +1,423 @@
+"""The campaign service and its ``python -m repro serve`` HTTP front-end.
+
+:class:`CampaignService` is the server-side brain: campaign bookkeeping
+(submit order, cache partitioning, seal/cancel state) layered over one
+shared content-addressed :class:`~repro.harness.store.ResultStore` and
+one :class:`~repro.service.queue.WorkQueue`.  The HTTP layer is a thin
+JSON codec around it -- every handler parses a body, calls one service
+method, and serializes the reply -- so tests (and the in-process oracle
+twin) drive the service object directly and the wire format stays
+trivially auditable.
+
+Submission streams: configs arrive in pages (``POST
+/campaigns/<id>/configs``), each page is partitioned against the store
+(hits resolve immediately and are never dispatched), misses accumulate
+into deterministic chunks that enter the work queue as they fill, and a
+final ``seal`` flushes the remainder.  When the queue's in-flight bound
+is reached the page is refused whole with HTTP 429 (:class:`QueueFull`
+-- nothing from the page is enqueued), so a million-config sweep streams
+chunk-by-chunk under backpressure instead of materializing server-side.
+
+Endpoints::
+
+    GET  /healthz                     liveness probe
+    GET  /status                      queue stats + service.* counters
+    POST /campaigns                   create (optionally submit + seal)
+    POST /campaigns/<id>/configs      stream a page of configs
+    POST /campaigns/<id>/seal         no more configs; flush remainder
+    POST /campaigns/<id>/cancel       drop this campaign's pending chunks
+    GET  /campaigns/<id>              status, incl. dead-letter listing
+    GET  /campaigns/<id>/results      resolved results in submit order
+    POST /lease | /heartbeat | /complete | /fail      the worker protocol
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.store import ResultStore
+from repro.service.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF,
+    QueueFull,
+    WorkQueue,
+    shard_sweep,
+)
+
+#: Default configs per work chunk.  Smaller than the engine's in-process
+#: default (16): a service chunk is the retry unit, and a short chunk
+#: bounds how much one worker death re-runs.
+DEFAULT_SERVICE_CHUNK_SIZE = 4
+
+
+class UnknownCampaign(KeyError):
+    """The campaign id is not (or no longer) known to this service."""
+
+
+@dataclass
+class _Campaign:
+    """Server-side state of one campaign."""
+
+    campaign_id: str
+    keys: "List[str]" = field(default_factory=list)      #: submit order
+    dispatched: "Set[str]" = field(default_factory=set)  #: keys in chunks
+    buffer: "List[Tuple[str, ExperimentConfig]]" = field(
+        default_factory=list)                            #: not yet chunked
+    chunk_ids: "Set[str]" = field(default_factory=set)
+    cache_hits: int = 0
+    sealed: bool = False
+    cancelled: bool = False
+
+
+class CampaignService:
+    """Campaign bookkeeping over one store and one work queue.
+
+    Campaign ids are sequential (``c1``, ``c2``, ...) -- deterministic
+    across runs of the same submission script, which keeps the service
+    twin in the differential oracle reproducible.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        chunk_size: int = DEFAULT_SERVICE_CHUNK_SIZE,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk size must be positive")
+        self.store = ResultStore(cache_dir)
+        self.chunk_size = chunk_size
+        self.queue = WorkQueue(
+            lease_timeout=lease_timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff, max_pending=max_pending,
+            clock=clock)
+        self.counters = self.queue.counters
+        self._lock = threading.RLock()
+        self._campaigns: "Dict[str, _Campaign]" = {}
+        self._next_id = 0
+
+    # -- campaign lifecycle ---------------------------------------------------
+
+    def create_campaign(self) -> str:
+        """Open a new campaign; returns its id."""
+        with self._lock:
+            self._next_id += 1
+            campaign_id = f"c{self._next_id}"
+            self._campaigns[campaign_id] = _Campaign(campaign_id)
+            self.counters.bump("service.campaigns")
+            return campaign_id
+
+    def add_configs(self, campaign_id: str,
+                    configs: "List[ExperimentConfig]",
+                    ) -> "dict[str, int]":
+        """Stream one page of configs into a campaign.
+
+        The page is atomic: either every full chunk it completes enters
+        the queue, or (on :class:`QueueFull`) nothing does and campaign
+        state is unchanged, so the client can back off and resend the
+        same page verbatim.
+        """
+        with self._lock:
+            campaign = self._campaign(campaign_id)
+            if campaign.sealed:
+                raise ValueError(f"campaign {campaign_id} is sealed")
+            page: "List[Tuple[str, ExperimentConfig]]" = []
+            refreshed = False
+            hits = 0
+            for config in configs:
+                key = self.store.key_for(config)
+                if key not in self.store and not refreshed:
+                    # A worker may have persisted it since our last scan.
+                    self.store.refresh()
+                    refreshed = True
+                if key in self.store:
+                    hits += 1
+                elif key not in campaign.dispatched and \
+                        not any(key == have for have, _ in
+                                campaign.buffer + page):
+                    page.append((key, config))
+            tentative = campaign.buffer + page
+            full = len(tentative) // self.chunk_size * self.chunk_size
+            chunks = shard_sweep(
+                [config for _, config in tentative[:full]],
+                self.chunk_size, campaign=campaign_id)
+            self.queue.submit(chunks)  # QueueFull -> nothing enqueued
+            campaign.buffer = tentative[full:]
+            campaign.keys.extend(self.store.key_for(config)
+                                 for config in configs)
+            campaign.cache_hits += hits
+            campaign.dispatched.update(key for key, _ in tentative[:full])
+            campaign.chunk_ids.update(chunk.chunk_id for chunk in chunks)
+            self.counters.bump("service.configs", len(configs))
+            self.counters.bump("service.cache_hits", hits)
+            return {"accepted": len(configs), "cache_hits": hits,
+                    "chunks": len(chunks)}
+
+    def seal(self, campaign_id: str) -> "dict[str, int]":
+        """Declare the campaign's submission finished; flush the buffer.
+
+        On :class:`QueueFull` the campaign stays unsealed and the client
+        retries the seal after backing off.
+        """
+        with self._lock:
+            campaign = self._campaign(campaign_id)
+            if campaign.sealed:
+                return {"chunks": 0}
+            chunks = shard_sweep(
+                [config for _, config in campaign.buffer],
+                self.chunk_size, campaign=campaign_id)
+            self.queue.submit(chunks)
+            campaign.dispatched.update(key for key, _ in campaign.buffer)
+            campaign.chunk_ids.update(chunk.chunk_id for chunk in chunks)
+            campaign.buffer = []
+            campaign.sealed = True
+            return {"chunks": len(chunks)}
+
+    def cancel(self, campaign_id: str) -> "dict[str, int]":
+        """Drop the campaign's pending chunks; leased ones finish."""
+        with self._lock:
+            campaign = self._campaign(campaign_id)
+            dropped = self.queue.cancel(campaign.chunk_ids)
+            campaign.cancelled = True
+            campaign.sealed = True
+            campaign.buffer = []
+            self.counters.bump("service.cancelled_campaigns")
+            return {"dropped": dropped}
+
+    # -- observation ----------------------------------------------------------
+
+    def campaign_status(self, campaign_id: str) -> "dict[str, object]":
+        """Progress snapshot: counts, completion, dead-letter listing.
+
+        ``simulated`` counts configs actually dispatched into work
+        chunks -- 0 for a fully warm resubmit, the number CI's
+        service-smoke job asserts on.
+        """
+        with self._lock:
+            campaign = self._campaign(campaign_id)
+            stats = self.queue.stats(campaign=campaign_id)
+            complete = (campaign.sealed
+                        and not campaign.buffer
+                        and self.queue.settled(campaign.chunk_ids))
+            return {
+                "campaign": campaign_id,
+                "configs": len(campaign.keys),
+                "cache_hits": campaign.cache_hits,
+                "simulated": self.queue.simulated_keys(campaign.chunk_ids),
+                "sealed": campaign.sealed,
+                "cancelled": campaign.cancelled,
+                "complete": complete,
+                "chunks": stats,
+                "dead_letters": [letter.to_json() for letter in
+                                 self.queue.dead_letters(campaign_id)],
+            }
+
+    def campaign_results(self, campaign_id: str) -> "dict[str, object]":
+        """Stored results for the campaign, in submit order.
+
+        Results a worker persisted since the store's last scan are
+        picked up by a refresh; keys still unresolved (unfinished or
+        dead-lettered work) are listed under ``missing``.
+        """
+        with self._lock:
+            campaign = self._campaign(campaign_id)
+            if any(key not in self.store for key in campaign.keys):
+                self.store.refresh()
+            results = []
+            missing = []
+            for key in campaign.keys:
+                result = self.store.get(key)
+                if result is None:
+                    missing.append(key)
+                else:
+                    results.append(result.to_json())
+            return {"campaign": campaign_id, "results": results,
+                    "missing": missing}
+
+    def status(self) -> "dict[str, object]":
+        """Service-wide snapshot: queue stats plus ``service.*`` counters."""
+        with self._lock:
+            return {
+                "campaigns": len(self._campaigns),
+                "chunks": self.queue.stats(),
+                "counters": {
+                    name: value for name, value in
+                    self.counters.snapshot().items()
+                    if name.startswith("service.")},
+            }
+
+    # -- the worker protocol (delegated to the queue) -------------------------
+
+    def lease(self, worker: str) -> "Optional[dict[str, object]]":
+        """Grant a chunk lease to ``worker`` (None when idle)."""
+        lease = self.queue.lease(worker)
+        if lease is None:
+            return None
+        return {"lease_id": lease.lease_id,
+                "deadline": lease.deadline,
+                "attempt": lease.attempt,
+                "chunk": lease.chunk.to_json()}
+
+    def heartbeat(self, lease_id: str) -> "dict[str, object]":
+        return {"alive": self.queue.heartbeat(lease_id)}
+
+    def complete(self, lease_id: str) -> "dict[str, object]":
+        return {"status": self.queue.complete(lease_id)}
+
+    def fail(self, lease_id: str, error: str) -> "dict[str, object]":
+        return {"status": self.queue.fail(lease_id, error)}
+
+    # -- internals ------------------------------------------------------------
+
+    def _campaign(self, campaign_id: str) -> _Campaign:
+        campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise UnknownCampaign(campaign_id)
+        return campaign
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP codec around the :class:`CampaignService`.
+
+    Routing is table-free on purpose: the URL space is small enough
+    that explicit dispatch reads better than a mini-framework.
+    """
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _reply(self, status: int, payload: "dict[str, object]") -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> "dict[str, object]":
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (tests boot many servers)."""
+
+    # -- dispatch -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        try:
+            parts = [part for part in self.path.split("/") if part]
+            if parts == ["healthz"]:
+                self._reply(200, {"ok": True})
+            elif parts == ["status"]:
+                self._reply(200, self.service.status())
+            elif len(parts) == 2 and parts[0] == "campaigns":
+                self._reply(200, self.service.campaign_status(parts[1]))
+            elif len(parts) == 3 and parts[0] == "campaigns" and \
+                    parts[2] == "results":
+                self._reply(200, self.service.campaign_results(parts[1]))
+            else:
+                self._reply(404, {"error": f"no such route: {self.path}"})
+        except UnknownCampaign as exc:
+            self._reply(404, {"error": f"unknown campaign: {exc}"})
+
+    def do_POST(self) -> None:
+        try:
+            body = self._body()
+            parts = [part for part in self.path.split("/") if part]
+            if parts == ["campaigns"]:
+                self._create_campaign(body)
+            elif len(parts) == 3 and parts[0] == "campaigns":
+                campaign_id, action = parts[1], parts[2]
+                if action == "configs":
+                    self._reply(200, self.service.add_configs(
+                        campaign_id, _parse_configs(body)))
+                elif action == "seal":
+                    self._reply(200, self.service.seal(campaign_id))
+                elif action == "cancel":
+                    self._reply(200, self.service.cancel(campaign_id))
+                else:
+                    self._reply(404,
+                                {"error": f"no such route: {self.path}"})
+            elif parts == ["lease"]:
+                lease = self.service.lease(str(body.get("worker", "")))
+                self._reply(200, {"lease": lease})
+            elif parts == ["heartbeat"]:
+                self._reply(200, self.service.heartbeat(
+                    str(body.get("lease_id", ""))))
+            elif parts == ["complete"]:
+                self._reply(200, self.service.complete(
+                    str(body.get("lease_id", ""))))
+            elif parts == ["fail"]:
+                self._reply(200, self.service.fail(
+                    str(body.get("lease_id", "")),
+                    str(body.get("error", ""))))
+            else:
+                self._reply(404, {"error": f"no such route: {self.path}"})
+        except UnknownCampaign as exc:
+            self._reply(404, {"error": f"unknown campaign: {exc}"})
+        except QueueFull as exc:
+            self._reply(429, {"error": str(exc)})
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+
+    def _create_campaign(self, body: "dict[str, object]") -> None:
+        """POST /campaigns: create, optionally one-shot submit + seal."""
+        campaign_id = self.service.create_campaign()
+        reply: "dict[str, object]" = {"campaign": campaign_id}
+        if "configs" in body:
+            reply.update(self.service.add_configs(
+                campaign_id, _parse_configs(body)))
+        if body.get("seal"):
+            reply.update(self.service.seal(campaign_id))
+        self._reply(200, reply)
+
+
+def _parse_configs(body: "dict[str, object]",
+                   ) -> "List[ExperimentConfig]":
+    raw = body.get("configs")
+    if not isinstance(raw, list):
+        raise ValueError("body must carry a 'configs' list")
+    return [ExperimentConfig.from_json(item) for item in raw]
+
+
+def start_service(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir: str = ".repro-cache",
+    **options: object,
+) -> "Tuple[ThreadingHTTPServer, CampaignService]":
+    """Build a service and bind its HTTP server (``port=0`` = ephemeral).
+
+    The server is bound but not serving: the caller decides the serving
+    discipline (``serve_forever`` in a daemon thread for tests and the
+    in-process fixture, foreground for ``python -m repro serve``).
+    Keyword options pass straight to :class:`CampaignService`.
+    """
+    service = CampaignService(cache_dir, **options)  # type: ignore[arg-type]
+    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server, service

@@ -1,0 +1,215 @@
+"""Crash-safe campaign workers: lease, simulate, persist, heartbeat.
+
+A worker is deliberately thin: all scheduling intelligence lives in the
+queue, all persistence intelligence in the store.  The worker pulls a
+lease, replays the chunk through a :class:`CampaignEngine` with
+``chunk_size=1`` -- so every config is persisted *individually and
+atomically* the moment it finishes -- and reports completion.  That one
+choice is the whole crash-safety story:
+
+* a SIGKILL mid-chunk loses at most the single in-flight config;
+* when the lease expires and the chunk is re-leased, the replacement
+  worker's engine partitions against the shared store, gets cache hits
+  for everything the dead worker already persisted, simulates only the
+  remainder, and re-persists nothing -- the final store is byte-identical
+  to an uninterrupted run (chunk files are named by their content keys);
+* two workers racing the same chunk after a spurious expiry write the
+  same bytes to the same file names, so duplication is impossible.
+
+Three flavours of the same loop are exposed: :func:`run_worker` (the
+``python -m repro work`` HTTP loop), :func:`drain_service` (in-process,
+against a :class:`CampaignService` object -- the test fixture and oracle
+path), and :func:`run_service_sweep` (submit + drain + fetch in one
+call, the service twin the differential oracle compares against a serial
+engine).  The ``poison_key`` / ``stall_key`` hooks inject deterministic
+worker misbehaviour for the fault-injection suite; they are inert unless
+a test sets them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.harness.backends import configure_backend
+from repro.harness.config import ExperimentConfig
+from repro.harness.engine import CampaignEngine
+from repro.harness.experiment import ExperimentResult
+from repro.harness.store import ResultStore
+from repro.service.client import ServiceClient
+from repro.service.queue import WorkChunk
+from repro.service.server import DEFAULT_SERVICE_CHUNK_SIZE, CampaignService
+
+#: How long an idle HTTP worker naps between empty lease polls.
+DEFAULT_POLL_INTERVAL = 0.2
+
+
+def process_chunk(
+    chunk: WorkChunk,
+    store: ResultStore,
+    poison_key: "Optional[str]" = None,
+    stall_key: "Optional[str]" = None,
+    stall_seconds: float = 0.0,
+    heartbeat: "Optional[Callable[[], object]]" = None,
+) -> "List[ExperimentResult]":
+    """Simulate one chunk config-by-config, persisting each atomically.
+
+    Configs already in the store (a retried chunk after a worker death)
+    resolve as cache hits and are not re-persisted.  ``heartbeat`` fires
+    after every config so the lease stays visible through long chunks.
+    ``poison_key`` raises before simulating the matching config (the
+    poison-config drill); ``stall_key`` sleeps before it (opening a
+    deterministic window for the SIGKILL drill).
+    """
+    engine = CampaignEngine(store=store, max_workers=1, chunk_size=1)
+    for backend in sorted({config.backend for config in chunk.configs}):
+        configure_backend(backend, str(store.cache_dir))
+    results: "List[ExperimentResult]" = []
+    for key, config in zip(chunk.keys, chunk.configs):
+        if poison_key is not None and key == poison_key:
+            raise RuntimeError(
+                f"poison config {key[:12]}: injected deterministic "
+                f"backend failure")
+        if stall_key is not None and key == stall_key:
+            time.sleep(stall_seconds)
+        results.extend(engine.run([config]))
+        if heartbeat is not None:
+            heartbeat()
+    return results
+
+
+def run_worker(
+    url: str,
+    cache_dir: str,
+    worker_id: str = "worker",
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_chunks: "Optional[int]" = None,
+    idle_exit: "Optional[int]" = None,
+    poison_key: "Optional[str]" = None,
+    stall_key: "Optional[str]" = None,
+    stall_seconds: float = 0.0,
+) -> int:
+    """The ``python -m repro work`` loop: lease over HTTP until told not to.
+
+    Returns the number of chunks processed.  ``idle_exit`` bounds how
+    many consecutive empty polls the worker tolerates before exiting
+    (None = poll forever); ``max_chunks`` bounds total work (the fault
+    tests use ``max_chunks=1`` to make a worker die tidily after one
+    chunk).  A worker-side exception fails the lease -- with the error
+    message forwarded for the dead-letter listing -- and the loop
+    continues; an unreachable server raises
+    :class:`~repro.service.client.ServiceError` out of the loop.
+    """
+    client = ServiceClient(url)
+    store = ResultStore(cache_dir)
+    processed = 0
+    idle = 0
+    while max_chunks is None or processed < max_chunks:
+        granted = client.post("/lease", {"worker": worker_id})["lease"]
+        if granted is None:
+            idle += 1
+            if idle_exit is not None and idle >= idle_exit:
+                break
+            time.sleep(poll_interval)
+            continue
+        idle = 0
+        lease_id = str(granted["lease_id"])
+        chunk = WorkChunk.from_json(granted["chunk"])
+        try:
+            process_chunk(
+                chunk, store, poison_key=poison_key,
+                stall_key=stall_key, stall_seconds=stall_seconds,
+                heartbeat=lambda lease=lease_id: client.post(
+                    "/heartbeat", {"lease_id": lease}))
+            client.post("/complete", {"lease_id": lease_id})
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - forwarded to dead-letter
+            client.post("/fail", {
+                "lease_id": lease_id,
+                "error": f"{type(exc).__name__}: {exc}"})
+        processed += 1
+    return processed
+
+
+def drain_service(
+    service: CampaignService,
+    cache_dir: "Optional[str]" = None,
+    worker_id: str = "inproc",
+    max_chunks: "Optional[int]" = None,
+    poison_key: "Optional[str]" = None,
+    stall_key: "Optional[str]" = None,
+    stall_seconds: float = 0.0,
+) -> int:
+    """In-process worker loop: drain a service object until it is quiet.
+
+    Runs the exact :func:`process_chunk` code path the HTTP worker runs,
+    minus the wire -- the in-process fixture and the oracle twin use
+    this.  The loop keeps going while chunks are pending-but-backed-off
+    (a retry's ``not_before`` gate), so poison configs reach their
+    dead-letter verdict instead of stranding the drain.
+    """
+    store = ResultStore(cache_dir if cache_dir is not None
+                        else str(service.store.cache_dir))
+    processed = 0
+    while max_chunks is None or processed < max_chunks:
+        granted = service.lease(worker_id)
+        if granted is None:
+            stats = service.queue.stats()
+            if stats["pending"] or stats["leased"]:
+                time.sleep(0.01)  # a retry is backing off; wait it out
+                continue
+            break
+        lease_id = str(granted["lease_id"])
+        chunk = WorkChunk.from_json(granted["chunk"])  # type: ignore[arg-type]
+        try:
+            process_chunk(
+                chunk, store, poison_key=poison_key,
+                stall_key=stall_key, stall_seconds=stall_seconds,
+                heartbeat=lambda lease=lease_id:
+                    service.heartbeat(lease))
+            service.complete(lease_id)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - forwarded to dead-letter
+            service.fail(lease_id,
+                         f"{type(exc).__name__}: {exc}")
+        processed += 1
+    return processed
+
+
+def run_service_sweep(
+    configs: "List[ExperimentConfig]",
+    cache_dir: str,
+    chunk_size: int = DEFAULT_SERVICE_CHUNK_SIZE,
+    runner: "Optional[Callable[[CampaignService], object]]" = None,
+    **options: object,
+) -> "List[ExperimentResult]":
+    """Run a sweep through the full service pipeline, in process.
+
+    Submit, seal, drain, fetch -- the whole campaign lifecycle without a
+    socket.  ``runner`` replaces the drain step (the oracle's tamper
+    meta-test injects a corrupting worker there); extra keyword options
+    pass to :class:`CampaignService`.  Raises if any config finishes
+    unresolved (dead-lettered work surfaces as an error, not a silent
+    hole in the results).
+    """
+    service = CampaignService(cache_dir, chunk_size=chunk_size,
+                              **options)  # type: ignore[arg-type]
+    campaign_id = service.create_campaign()
+    service.add_configs(campaign_id, configs)
+    service.seal(campaign_id)
+    if runner is None:
+        drain_service(service)
+    else:
+        runner(service)
+    payload = service.campaign_results(campaign_id)
+    missing = payload["missing"]
+    if missing:
+        letters = service.queue.dead_letters(campaign_id)
+        raise RuntimeError(
+            f"service sweep left {len(missing)} config(s) unresolved "
+            f"({len(letters)} dead-lettered chunk(s)): "
+            + ", ".join(str(key)[:12] for key in missing))
+    return [ExperimentResult.from_json(item)
+            for item in payload["results"]]

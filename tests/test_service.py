@@ -1,0 +1,339 @@
+"""Campaign-service suite: queue semantics and the HTTP lifecycle.
+
+The queue tests drive :class:`WorkQueue` with a fake clock, so lease
+expiry, retry backoff, and dead-lettering are asserted deterministically
+without sleeping.  The lifecycle tests boot the real HTTP server (the
+``campaign_service`` fixture) and run the full client path -- submit a
+small figs 9-12 sweep, poll, fetch -- asserting the results are
+repr-identical to a direct :class:`CampaignEngine.run` of the same
+configs (the acceptance bar: queueing can never leak into a result).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.harness.engine import CampaignEngine
+from repro.harness.store import ResultStore, config_key
+from repro.service import (
+    QueueFull,
+    WorkQueue,
+    fetch_results,
+    poll_campaign,
+    shard_sweep,
+    submit_campaign,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import chunk_id_for
+from repro.service.worker import drain_service, run_worker
+
+from tests.strategies import make_config, small_sweep
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic queue tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def build_queue(**overrides):
+    clock = FakeClock()
+    options = dict(lease_timeout=10.0, max_retries=2,
+                   retry_backoff=1.0, clock=clock)
+    options.update(overrides)
+    return WorkQueue(**options), clock
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+class TestShardSweep:
+
+    def test_chunks_are_deterministic_and_input_ordered(self):
+        configs = small_sweep()
+        first = shard_sweep(configs, 3)
+        second = shard_sweep(configs, 3)
+        assert [c.chunk_id for c in first] == [c.chunk_id for c in second]
+        flattened = [key for chunk in first for key in chunk.keys]
+        assert flattened == [config_key(config) for config in configs]
+
+    def test_chunk_ids_are_content_addresses(self):
+        chunk = shard_sweep([make_config()], 4, campaign="c1")[0]
+        assert chunk.chunk_id == chunk_id_for(chunk.keys, "c1")
+        # A different campaign label shards to a different chunk id.
+        other = shard_sweep([make_config()], 4, campaign="c2")[0]
+        assert other.chunk_id != chunk.chunk_id
+
+    def test_duplicates_collapse(self):
+        config = make_config()
+        chunks = shard_sweep([config, config, config], 2)
+        assert len(chunks) == 1
+        assert len(chunks[0].keys) == 1
+
+    def test_chunk_round_trips_through_json(self):
+        chunk = shard_sweep(small_sweep(), 4)[0]
+        rebuilt = type(chunk).from_json(chunk.to_json())
+        assert rebuilt == chunk
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            shard_sweep([make_config()], 0)
+
+
+# ---------------------------------------------------------------------------
+# The work queue
+# ---------------------------------------------------------------------------
+
+class TestWorkQueue:
+
+    def test_lease_complete_lifecycle(self):
+        queue, _ = build_queue()
+        chunks = shard_sweep(small_sweep(), 2)
+        assert queue.submit(chunks) == len(chunks)
+        assert queue.submit(chunks) == 0  # resubmission is idempotent
+        seen = []
+        while True:
+            lease = queue.lease("w1")
+            if lease is None:
+                break
+            seen.append(lease.chunk.chunk_id)
+            assert queue.complete(lease.lease_id) == "done"
+        assert seen == [chunk.chunk_id for chunk in chunks]
+        assert queue.stats() == {"pending": 0, "leased": 0,
+                                 "done": len(chunks), "dead": 0}
+        assert queue.counters.get("service.completed_chunks") == len(chunks)
+
+    def test_expired_lease_is_retried_then_dead_lettered(self):
+        queue, clock = build_queue(max_retries=1)
+        queue.submit(shard_sweep([make_config()], 1))
+        first = queue.lease("w1")
+        assert first.attempt == 1
+        clock.advance(11.0)  # past the 10s visibility timeout
+        assert queue.lease("w2") is None  # backoff gates the retry
+        clock.advance(1.0)
+        second = queue.lease("w2")
+        assert second is not None and second.attempt == 2
+        assert second.chunk == first.chunk
+        assert queue.counters.get("service.expired_leases") == 1
+        assert queue.counters.get("service.retries") == 1
+        clock.advance(12.0)  # second lease expires too: budget exhausted
+        assert queue.lease("w3") is None
+        letters = queue.dead_letters()
+        assert len(letters) == 1
+        assert letters[0].attempts == 2
+        assert "expired" in letters[0].error
+        assert queue.counters.get("service.dead_lettered") == 1
+
+    def test_heartbeat_extends_the_deadline(self):
+        queue, clock = build_queue()
+        queue.submit(shard_sweep([make_config()], 1))
+        lease = queue.lease("w1")
+        clock.advance(8.0)
+        assert queue.heartbeat(lease.lease_id)
+        clock.advance(8.0)  # would be past the original deadline
+        assert queue.stats()["leased"] == 1
+        assert queue.complete(lease.lease_id) == "done"
+
+    def test_stale_completion_is_counted_not_fatal(self):
+        queue, clock = build_queue()
+        queue.submit(shard_sweep([make_config()], 1))
+        lease = queue.lease("w1")
+        clock.advance(11.0)
+        assert not queue.heartbeat(lease.lease_id)
+        assert queue.complete(lease.lease_id) == "stale"
+        assert queue.counters.get("service.stale_completions") == 1
+
+    def test_explicit_failure_retries_with_backoff(self):
+        queue, clock = build_queue(retry_backoff=2.0)
+        queue.submit(shard_sweep([make_config()], 1))
+        lease = queue.lease("w1")
+        assert queue.fail(lease.lease_id, "boom") == "retry"
+        assert queue.lease("w1") is None  # still backing off
+        clock.advance(2.0)
+        retry = queue.lease("w1")
+        assert retry is not None and retry.attempt == 2
+
+    def test_poison_chunk_dead_letters_with_its_error(self):
+        queue, clock = build_queue(max_retries=2, retry_backoff=0.0)
+        queue.submit(shard_sweep([make_config()], 1))
+        for attempt in (1, 2):
+            lease = queue.lease("w1")
+            assert queue.fail(lease.lease_id,
+                              "RuntimeError: poison") == "retry"
+            clock.advance(0.1)
+        lease = queue.lease("w1")
+        assert lease.attempt == 3
+        assert queue.fail(lease.lease_id, "RuntimeError: poison") == "dead"
+        letter = queue.dead_letters()[0]
+        assert letter.error == "RuntimeError: poison"
+        assert letter.attempts == 3
+
+    def test_backpressure_refuses_whole_batch(self):
+        queue, _ = build_queue(max_pending=2)
+        chunks = shard_sweep(small_sweep(), 2)
+        assert len(chunks) > 2
+        with pytest.raises(QueueFull):
+            queue.submit(chunks)
+        assert queue.stats()["pending"] == 0  # nothing partially enqueued
+        assert queue.counters.get("service.backpressure") == 1
+        assert queue.submit(chunks[:2]) == 2
+
+    def test_cancel_drops_only_pending_chunks(self):
+        queue, _ = build_queue()
+        chunks = shard_sweep(small_sweep(), 2)
+        queue.submit(chunks)
+        leased = queue.lease("w1")
+        ids = {chunk.chunk_id for chunk in chunks}
+        assert queue.cancel(ids) == len(chunks) - 1
+        assert queue.stats() == {"pending": 0, "leased": 1, "done": 0,
+                                 "dead": 0}
+        assert queue.complete(leased.lease_id) == "done"
+
+
+# ---------------------------------------------------------------------------
+# The HTTP lifecycle (satellite: end-to-end over the wire)
+# ---------------------------------------------------------------------------
+
+class TestHttpLifecycle:
+
+    def test_sweep_matches_direct_engine_run(self, campaign_service,
+                                             tmp_path):
+        """Submit figs 9-12 over HTTP; results repr-match the engine."""
+        configs = small_sweep()
+        campaign = submit_campaign(campaign_service.url, configs)
+        worker = threading.Thread(
+            target=run_worker,
+            args=(campaign_service.url, campaign_service.cache_dir),
+            kwargs=dict(idle_exit=3, poll_interval=0.02), daemon=True)
+        worker.start()
+        status = poll_campaign(campaign_service.url, campaign,
+                               timeout=120)
+        worker.join(timeout=120)
+        assert status["complete"]
+        assert status["simulated"] == len(configs)
+        assert not status["dead_letters"]
+        via_service = fetch_results(campaign_service.url, campaign)
+        direct = CampaignEngine(
+            store=ResultStore(tmp_path / "direct")).run(configs)
+        assert [repr(r) for r in via_service] == [repr(r) for r in direct]
+
+    def test_warm_resubmission_simulates_nothing(self, campaign_service):
+        configs = small_sweep(apps=("tl",))
+        first = submit_campaign(campaign_service.url, configs)
+        drain_service(campaign_service.service)
+        poll_campaign(campaign_service.url, first, timeout=60)
+        second = submit_campaign(campaign_service.url, configs)
+        status = poll_campaign(campaign_service.url, second, timeout=10)
+        assert status["complete"]
+        assert status["simulated"] == 0
+        assert status["cache_hits"] == len(configs)
+        resubmitted = fetch_results(campaign_service.url, second)
+        assert [r.config for r in resubmitted] == configs
+
+    def test_status_and_healthz_endpoints(self, campaign_service):
+        client = ServiceClient(campaign_service.url)
+        assert client.get("/healthz") == {"ok": True}
+        status = client.get("/status")
+        assert status["campaigns"] == 0
+        assert set(status["chunks"]) == {"pending", "leased", "done",
+                                         "dead"}
+        assert isinstance(status["counters"], dict)
+
+    def test_cancel_drops_pending_work(self, campaign_service):
+        configs = small_sweep()
+        campaign = submit_campaign(campaign_service.url, configs)
+        client = ServiceClient(campaign_service.url)
+        reply = client.post(f"/campaigns/{campaign}/cancel", {})
+        assert reply["dropped"] > 0
+        status = poll_campaign(campaign_service.url, campaign, timeout=10)
+        assert status["cancelled"]
+        assert status["complete"]
+
+    def test_unknown_campaign_is_404(self, campaign_service):
+        client = ServiceClient(campaign_service.url)
+        with pytest.raises(ServiceError, match="404"):
+            client.get("/campaigns/nope")
+        with pytest.raises(ServiceError, match="404"):
+            client.get("/no/such/route")
+
+    def test_malformed_submission_is_400(self, campaign_service):
+        client = ServiceClient(campaign_service.url)
+        campaign = client.post("/campaigns", {})["campaign"]
+        with pytest.raises(ServiceError, match="400"):
+            client.post(f"/campaigns/{campaign}/configs",
+                        {"configs": [{"app": "not-an-app"}]})
+
+    def test_streaming_backpressure_429_round_trip(self, make_service):
+        """A tiny queue bound forces 429s; paged submission still lands."""
+        under_test = make_service(chunk_size=1, max_pending=2)
+        configs = small_sweep(apps=("tl",))
+        client = ServiceClient(under_test.url)
+        campaign = client.post("/campaigns", {})["campaign"]
+        with pytest.raises(QueueFull):
+            client.post(f"/campaigns/{campaign}/configs",
+                        {"configs": [c.to_json() for c in configs]})
+        # Submit page-by-page in the background while the foreground
+        # drains: the queue is freed chunk-by-chunk, so the 429s the
+        # paged client absorbs eventually clear.
+        box = {}
+
+        def submit():
+            box["campaign"] = submit_campaign(
+                under_test.url, configs, page_size=1, max_wait=120)
+
+        submitter = threading.Thread(target=submit, daemon=True)
+        submitter.start()
+        while submitter.is_alive():
+            drain_service(under_test.service)
+        submitter.join(timeout=120)
+        drain_service(under_test.service)
+        submitted = box["campaign"]
+        status = poll_campaign(under_test.url, submitted, timeout=60)
+        assert status["complete"]
+        assert under_test.counter("service.backpressure") >= 1
+        assert len(fetch_results(under_test.url, submitted)) \
+            == len(configs)
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+
+class TestServiceCli:
+
+    def test_serve_parser_defaults(self):
+        from repro.service.cli import _serve_parser
+        options = _serve_parser().parse_args([])
+        assert options.port == 8642
+        assert options.workers == 0
+        assert options.chunk_size >= 1
+
+    def test_work_parser_requires_url(self, capsys):
+        from repro.service.cli import _work_parser
+        with pytest.raises(SystemExit):
+            _work_parser().parse_args([])
+        options = _work_parser().parse_args(
+            ["--url", "http://127.0.0.1:1", "--max-chunks", "1"])
+        assert options.max_chunks == 1
+
+    def test_main_dispatches_serve_and_work(self, monkeypatch):
+        import repro.__main__ as entry
+        calls = []
+        monkeypatch.setattr("repro.service.cli.main_serve",
+                            lambda argv: calls.append(("serve", argv)) or 0)
+        monkeypatch.setattr("repro.service.cli.main_work",
+                            lambda argv: calls.append(("work", argv)) or 0)
+        assert entry.main(["serve", "--port", "0"]) == 0
+        assert entry.main(["work", "--url", "http://x"]) == 0
+        assert calls == [("serve", ["--port", "0"]),
+                         ("work", ["--url", "http://x"])]

@@ -1,0 +1,234 @@
+"""Crash/recovery suite: the service under injected failure.
+
+The archetype tests of this PR.  A real worker subprocess is SIGKILLed
+mid-lease and the suite asserts the full recovery contract: the lease
+expires, the chunk is re-leased and retried exactly once, no result is
+lost or duplicated, and the final store is *byte-identical* to a clean
+uninterrupted run (per-config chunk files are content-addressed, so the
+retried chunk re-persists nothing that survived the kill).  A poison
+config -- one whose processing raises deterministically -- must burn its
+retry budget, land in the dead-letter listing with its error, and never
+stall the rest of the sweep.  And a client pointed at a dead port must
+fail fast with :class:`ServiceError`, not hang.
+
+Workers are spawned as genuine ``python -m repro work`` subprocesses
+(inheriting this process' environment, including PYTHONPATH), because
+SIGKILL semantics -- no atexit, no finally, mid-write death -- only
+exist across a process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness.store import ResultStore, config_key
+from repro.service import (
+    fetch_results,
+    poll_campaign,
+    submit_campaign,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.worker import drain_service
+
+from tests.strategies import make_config, small_sweep
+
+#: Seconds a stalled worker sleeps -- the window the SIGKILL lands in.
+STALL_SECONDS = 60.0
+
+
+def wait_until(predicate, message, timeout=60.0, interval=0.05,
+               clock=time.monotonic):
+    """Poll ``predicate`` under a wall-clock deadline (integration glue:
+    these tests coordinate with real subprocesses, not simulations)."""
+    deadline = clock() + timeout
+    while not predicate():
+        assert clock() < deadline, message
+        time.sleep(interval)
+
+
+def store_fingerprint(cache_dir):
+    """(filename, bytes) of every chunk file -- the byte-identity probe."""
+    store_dir = ResultStore(cache_dir).cache_dir
+    return sorted((path.name, path.read_bytes())
+                  for path in store_dir.glob("chunk-*.jsonl"))
+
+
+def spawn_worker(url, cache_dir, *extra):
+    """One real ``python -m repro work`` subprocess (SIGKILL target)."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "work", "--url", url,
+         "--cache-dir", str(cache_dir), "--poll-interval", "0.05",
+         *extra],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+class TestWorkerKill:
+
+    def test_sigkilled_worker_chunk_retries_exactly_once_byte_identical(
+            self, make_service, tmp_path):
+        """The acceptance-criteria test: SIGKILL -> re-lease -> identical
+        store, with service.retries reflecting exactly one injected
+        failure."""
+        configs = small_sweep(apps=("tl",))
+        # Clean reference run through the same service pipeline.
+        clean = make_service(chunk_size=2)
+        clean_id = submit_campaign(clean.url, configs)
+        drain_service(clean.service)
+        poll_campaign(clean.url, clean_id, timeout=60)
+        clean_results = fetch_results(clean.url, clean_id)
+        clean_bytes = store_fingerprint(clean.cache_dir)
+
+        # Faulted run: short lease so the kill is detected quickly; the
+        # doomed worker stalls on the sweep's third config, so the
+        # SIGKILL lands mid-chunk with config 3's chunk-mate unpersisted.
+        faulted = make_service(chunk_size=2, lease_timeout=2.0,
+                               max_retries=2, retry_backoff=0.05)
+        stall_key = config_key(configs[2])
+        campaign = submit_campaign(faulted.url, configs)
+        doomed = spawn_worker(faulted.url, faulted.cache_dir,
+                              "--stall-key", stall_key,
+                              "--stall-seconds", str(STALL_SECONDS))
+        def reached_second_chunk():
+            assert doomed.poll() is None, "doomed worker exited early"
+            return (faulted.counter("service.completed_chunks") >= 1
+                    and faulted.counter("service.leases") >= 2)
+
+        wait_until(reached_second_chunk,
+                   "doomed worker never reached its second chunk")
+        # It finished chunk 1 and is stalled inside chunk 2, lease held.
+        doomed.send_signal(signal.SIGKILL)
+        doomed.wait(timeout=30)
+        # A healthy replacement finishes the sweep.
+        replacement = spawn_worker(faulted.url, faulted.cache_dir,
+                                   "--idle-exit", "40")
+        status = poll_campaign(faulted.url, campaign, timeout=120)
+        replacement.wait(timeout=120)
+        assert status["complete"]
+        assert not status["dead_letters"]
+
+        # Exactly one injected failure: one expired lease, one retry,
+        # nothing dead-lettered.
+        assert faulted.counter("service.expired_leases") == 1
+        assert faulted.counter("service.retries") == 1
+        assert faulted.counter("service.dead_lettered") == 0
+
+        # No result lost, none duplicated, bytes identical to clean run.
+        faulted_results = fetch_results(faulted.url, campaign)
+        assert [repr(r) for r in faulted_results] \
+            == [repr(r) for r in clean_results]
+        assert store_fingerprint(faulted.cache_dir) == clean_bytes
+
+    def test_expired_lease_work_is_not_double_counted(self, make_service):
+        """The killed worker's completed configs re-resolve as cache
+        hits, not re-simulations, when the chunk is retried."""
+        configs = small_sweep(apps=("tl",))
+        under_test = make_service(chunk_size=len(configs),
+                                  lease_timeout=2.0, retry_backoff=0.05)
+        stall_key = config_key(configs[2])
+        campaign = submit_campaign(under_test.url, configs)
+        doomed = spawn_worker(under_test.url, under_test.cache_dir,
+                              "--stall-key", stall_key,
+                              "--stall-seconds", str(STALL_SECONDS))
+        def two_configs_heartbeat():
+            assert doomed.poll() is None, "doomed worker exited early"
+            return under_test.counter("service.heartbeats") >= 2
+
+        wait_until(two_configs_heartbeat,
+                   "doomed worker never heartbeat twice")
+        doomed.send_signal(signal.SIGKILL)
+        doomed.wait(timeout=30)
+        # The dead worker persisted its finished configs individually.
+        assert len(ResultStore(under_test.cache_dir)) >= 2
+        # The drain waits out the lease expiry + backoff by itself.
+        drain_service(under_test.service, worker_id="replacement")
+        status = poll_campaign(under_test.url, campaign, timeout=60)
+        assert status["complete"]
+        results = fetch_results(under_test.url, campaign)
+        assert len(results) == len(configs)
+        # The retry re-ran only what the dead worker had not persisted:
+        # at least the two heartbeated configs came back as cache hits.
+        store = ResultStore(under_test.cache_dir)
+        assert len(store) == len(configs)
+
+
+class TestPoisonConfig:
+
+    def test_poison_config_dead_letters_without_stalling(self,
+                                                         make_service):
+        """A deterministically-failing config burns its retries, lands
+        in the dead-letter listing, and the rest of the sweep
+        completes."""
+        configs = small_sweep(apps=("tl",))
+        under_test = make_service(chunk_size=1, max_retries=2,
+                                  retry_backoff=0.01)
+        poison_key = config_key(configs[1])
+        campaign = submit_campaign(under_test.url, configs)
+        drain_service(under_test.service, poison_key=poison_key)
+        status = poll_campaign(under_test.url, campaign, timeout=60)
+        assert status["complete"]
+        letters = status["dead_letters"]
+        assert len(letters) == 1
+        assert letters[0]["keys"] == [poison_key]
+        assert letters[0]["attempts"] == 3  # 1 lease + max_retries
+        assert "poison" in letters[0]["error"]
+        assert under_test.counter("service.dead_lettered") == 1
+        assert under_test.counter("service.retries") == 2
+        # Everything else finished despite the poison chunk.
+        results = fetch_results(under_test.url, campaign,
+                                allow_missing=True)
+        assert len(results) == len(configs) - 1
+        with pytest.raises(ServiceError, match="unresolved"):
+            fetch_results(under_test.url, campaign)
+
+    def test_poison_worker_subprocess_reports_the_error(self,
+                                                        make_service):
+        """The HTTP worker forwards its exception text to the
+        dead-letter listing."""
+        config = make_config()
+        under_test = make_service(chunk_size=1, max_retries=0)
+        campaign = submit_campaign(under_test.url, [config])
+        worker = spawn_worker(under_test.url, under_test.cache_dir,
+                              "--poison-key", config_key(config),
+                              "--idle-exit", "40")
+        status = poll_campaign(under_test.url, campaign, timeout=60)
+        worker.wait(timeout=60)
+        letters = status["dead_letters"]
+        assert len(letters) == 1
+        assert "RuntimeError" in letters[0]["error"]
+        assert "poison" in letters[0]["error"]
+
+
+class TestUnreachableServer:
+
+    def test_client_times_out_fast_with_service_error(self):
+        """A dead port fails with ServiceError after bounded retries,
+        not a hang."""
+        # Bind-then-close guarantees the port is unreachable.
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(f"http://127.0.0.1:{dead_port}",
+                               timeout=0.5, retries=1,
+                               retry_backoff=0.01)
+        clock = time.monotonic
+        start = clock()
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.get("/healthz")
+        assert clock() - start < 10.0
+
+    def test_submit_campaign_surfaces_unreachable_server(self):
+        with pytest.raises(ServiceError, match="unreachable"):
+            submit_campaign(
+                "http://127.0.0.1:9",  # discard port: nothing listens
+                [make_config()],
+                client=ServiceClient("http://127.0.0.1:9", timeout=0.5,
+                                     retries=0, retry_backoff=0.01))

@@ -51,8 +51,13 @@ The surface covers five layers of use:
   :class:`Tracer` observation hook;
 * **fault sampling** -- :class:`FaultInjector` (the per-access
   reference sampler), :class:`GeometricFaultInjector` (the skip-sampling
-  equivalent behind ``ExperimentConfig(injector="geometric")``), and
-  :data:`INJECTOR_NAMES`;
+  equivalent behind ``ExperimentConfig(injector="geometric")``), the
+  measured-silicon mapped injectors
+  (:class:`CorrelatedFaultInjector` / :class:`TieredFaultInjector`
+  behind ``ExperimentConfig(injector="correlated" | "tiered")``,
+  their address-indexed maps :class:`CorrelatedFaultMap` /
+  :class:`TieredFaultMap` via :func:`make_fault_map`, and
+  :data:`MAPPED_INJECTOR_NAMES`), and :data:`INJECTOR_NAMES`;
 * **traffic scenarios** -- the seeded production-shaped load engine
   behind ``python -m repro traffic`` and
   ``ExperimentConfig(scenario=...)`` (see docs/TRAFFIC.md):
@@ -96,10 +101,18 @@ from repro.harness.store import (
     save_results,
 )
 from repro.harness.sweep import SweepPoint, sweep
+from repro.mem.faultmaps import (
+    MAPPED_INJECTOR_NAMES,
+    CorrelatedFaultMap,
+    TieredFaultMap,
+    make_fault_map,
+)
 from repro.mem.faults import (
     INJECTOR_NAMES,
+    CorrelatedFaultInjector,
     FaultInjector,
     GeometricFaultInjector,
+    TieredFaultInjector,
     make_injector,
 )
 from repro.oracle.check import OracleReport, run_check
@@ -154,6 +167,8 @@ __all__ = [
     "CODE_VERSION",
     "CampaignEngine",
     "CampaignService",
+    "CorrelatedFaultInjector",
+    "CorrelatedFaultMap",
     "DEFAULT_FAULT_SCALE",
     "Divergence",
     "EXTENSION_POLICIES",
@@ -163,6 +178,7 @@ __all__ = [
     "FuzzReport",
     "GeometricFaultInjector",
     "INJECTOR_NAMES",
+    "MAPPED_INJECTOR_NAMES",
     "MulticoreResult",
     "NO_DETECTION",
     "NULL_TRACER",
@@ -180,6 +196,8 @@ __all__ = [
     "SweepPoint",
     "THREE_STRIKE",
     "TWO_STRIKE",
+    "TieredFaultInjector",
+    "TieredFaultMap",
     "TimedPacket",
     "Trace",
     "TraceStore",
@@ -193,6 +211,7 @@ __all__ = [
     "default_engine",
     "fetch_results",
     "load_results",
+    "make_fault_map",
     "make_injector",
     "map_parallel",
     "policy_by_name",

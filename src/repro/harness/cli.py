@@ -312,7 +312,10 @@ def main(argv: "list[str] | None" = None) -> int:
                              "draws per access (matches the golden "
                              "snapshots bit for bit), 'geometric' "
                              "skip-samples inter-fault gaps (same fault "
-                             "law, several times faster; see "
+                             "law, several times faster), 'correlated' "
+                             "and 'tiered' apply measured-silicon "
+                             "address maps (weak rows/ways, reliability "
+                             "tiers) at the same marginal rate; see "
                              "EXPERIMENTS.md for comparability)")
     args = parser.parse_args(argv)
     if args.no_cache and (args.cache_dir or args.resume):

@@ -54,7 +54,10 @@ from repro.harness.experiment import ExperimentResult
 #: (traffic-scenario workloads).
 #: v4: the config JSON schema gained the ``backend`` field
 #: (trace-replay execution backend).
-CODE_VERSION = "clumsy-repro-v4"
+#: v5: the config JSON schema gained the ``fault_map_params`` field and
+#: the result schema gained ``ways_disabled`` (measured-silicon fault
+#: maps and way-disabling recovery).
+CODE_VERSION = "clumsy-repro-v5"
 
 #: Hex digits of the chunk-key digest used in chunk file names.
 _CHUNK_DIGEST_LENGTH = 12

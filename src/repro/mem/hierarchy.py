@@ -81,6 +81,7 @@ from repro.telemetry.events import (
     FrequencySwitch,
     ParityStrike,
     RecoveryFallback,
+    WayDisabled,
 )
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -172,6 +173,10 @@ class MemoryHierarchy:
         self.undetected_corruptions = 0
         self.recovery_invalidations = 0
         self.sub_block_refills = 0
+        #: Ways retired by the way-disabling recovery action, and the
+        #: per-set strikeout counts driving it (reset on retirement).
+        self.ways_disabled = 0
+        self._way_strikeouts: "dict[int, int]" = {}
         self.scrubbed_words = 0
         self.wild_reads = 0
         self.wild_writes = 0
@@ -414,7 +419,8 @@ class MemoryHierarchy:
             self._charge_l1_access(is_write=False)
             return _garbage_value(address, length), "clean"
         self._charge_l1_access(is_write=False)
-        event = self.injector.draw(self._cycle_time, length * 8)
+        event = self.injector.draw(self._cycle_time, length * 8,
+                                   address)
         read_flips: "dict[int, frozenset[int]]" = {}
         if event is not None:
             self.injector.record_kind(is_write=False)
@@ -490,6 +496,36 @@ class MemoryHierarchy:
                     line_address=self.l1d.line_address(address),
                     action=self.policy.fallback_action, words=0,
                     cr=self._cycle_time))
+            if self.policy.way_disable:
+                self._note_strikeout(address)
+
+    def _note_strikeout(self, address: int) -> None:
+        """One strikeout landed in ``address``'s set; maybe retire a way.
+
+        The way-disabling state machine (INTERPLAY): every strike-budget
+        exhaustion that invalidates a line counts one *strikeout*
+        against the line's set.  When a set accumulates
+        ``policy.way_disable_threshold`` strikeouts, one of its ways is
+        retired for the remainder of the run and the count resets --
+        repeated trouble in the same array row is read as a weak row,
+        and capacity is traded for keeping the cache at speed.  The
+        cache refuses to retire a set's last active way, in which case
+        the strikeouts keep accumulating harmlessly.
+        """
+        set_index = self.l1d.set_index_for(address)
+        strikeouts = self._way_strikeouts.get(set_index, 0) + 1
+        if (strikeouts >= self.policy.way_disable_threshold
+                and self.l1d.disable_way(set_index)):
+            self._way_strikeouts[set_index] = 0
+            self.ways_disabled += 1
+            if self.tracer.enabled:
+                self.tracer.emit(WayDisabled(
+                    cycle=self.processor.cycles, engine=self.engine_id,
+                    set_index=set_index, strikeouts=strikeouts,
+                    total_disabled=self.ways_disabled,
+                    cr=self._cycle_time))
+        else:
+            self._way_strikeouts[set_index] = strikeouts
 
     def read(self, address: int, length: int) -> int:
         """Read ``length`` bytes as a little-endian unsigned integer.
@@ -531,7 +567,8 @@ class MemoryHierarchy:
         # The post-recovery read is itself an L1 access and can fault
         # again; the value is returned regardless (the strike budget is
         # spent), though a detected failure is still counted.
-        event = self.injector.draw(self._cycle_time, length * 8)
+        event = self.injector.draw(self._cycle_time, length * 8,
+                                   address)
         if event is not None:
             self.injector.record_kind(is_write=False)
             self.fault_sites.append((address, False))
@@ -576,7 +613,8 @@ class MemoryHierarchy:
             return
         self._charge_l1_access(is_write=True)
         words = self._covered_words(address, length)
-        event = self.injector.draw(self._cycle_time, length * 8)
+        event = self.injector.draw(self._cycle_time, length * 8,
+                                   address)
         if event is None:
             for word in words:
                 self.corruption.pop(word, None)

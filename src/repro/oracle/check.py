@@ -7,7 +7,7 @@ configured applications:
    recovery policies, checked against every registered metamorphic
    invariant (:mod:`repro.oracle.invariants`);
 2. the differential twins -- one representative config per app through
-   the workers/cache/injector/replay/service path pairs
+   the workers/cache/injector/faultmap/replay/service path pairs
    (:mod:`repro.oracle.differential`);
 3. a seeded config fuzz -- random-walk configs probed with the
    per-result invariants, failures shrunk and filed
@@ -46,6 +46,7 @@ MODES: "dict[str, dict]" = {
         "packet_count": 25,
         "cycle_times": (1.0, 0.5, 0.25),
         "policies": ("no-detection", "two-strike"),
+        "injectors": ("correlated", "tiered"),
         "dynamic_packets": 25,
         "seeds": (7, 11),
         "fuzz_budget": 25,
@@ -55,6 +56,7 @@ MODES: "dict[str, dict]" = {
         "cycle_times": RELATIVE_CYCLE_LEVELS,
         "policies": ("no-detection", "one-strike", "two-strike",
                      "three-strike"),
+        "injectors": ("geometric", "correlated", "tiered"),
         "dynamic_packets": 300,
         "seeds": (7, 11, 23),
         "fuzz_budget": 100,
@@ -122,6 +124,15 @@ def _sweep_configs(app: str, shape: "dict") -> "list[ExperimentConfig]":
         for cycle_time in shape["cycle_times"]
         for policy_name in shape["policies"]
     ]
+    # One over-clocked run per non-reference injector, under the
+    # way-disabling policy so the way-capacity invariant sees live data.
+    configs.extend(
+        ExperimentConfig(
+            app=app, packet_count=shape["packet_count"], cycle_time=0.25,
+            policy=policy_by_name("two-strike-waydisable"),
+            fault_scale=CHECK_FAULT_SCALE, injector=injector,
+            l1_associativity=2)
+        for injector in shape["injectors"])
     configs.append(ExperimentConfig(
         app=app, packet_count=shape["dynamic_packets"], dynamic=True,
         policy=policy_by_name("two-strike"),

@@ -49,6 +49,7 @@ from repro.core.energy import EnergyModel
 from repro.core.fault_model import FaultModel
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiment import ExperimentResult
+from repro.mem.faultmaps import MAPPED_INJECTOR_NAMES
 from repro.replay.trace import (
     KIND_L1_FILL,
     KIND_L2_FILL,
@@ -75,8 +76,13 @@ def replay_trace(trace: Trace,
     ``None`` is returned whenever faithful execution is required:
     active L2-fill faults (the execute backend burns injector RNG on
     every fill once the phase enables the injector, even at scale 0),
-    burst mode (per-access rate modulation), or a sampled fault whose
-    consequences reach a branched-on value.
+    burst mode (per-access rate modulation), a mapped injector
+    (``correlated``/``tiered``: the statistical lane samples fault
+    *counts* from the flat marginal law, which would silently erase the
+    address-dependence those injectors exist to model -- refusal over
+    approximation), a way-disabling recovery policy (retired ways
+    change the miss pattern mid-run, invalidating the recorded trace),
+    or a sampled fault whose consequences reach a branched-on value.
     """
     if config.l2_fill_fault_probability > 0 and config.planes != "none":
         return None
@@ -84,6 +90,10 @@ def replay_trace(trace: Trace,
     if not faulty:
         return _replay_exact(trace, config)
     if config.burst_start_probability > 0:
+        return None
+    if config.injector in MAPPED_INJECTOR_NAMES:
+        return None
+    if config.policy.way_disable:
         return None
     return _FaultedReplay(trace, config).run()
 

@@ -31,6 +31,7 @@ from repro.telemetry.events import (
     PacketDone,
     ParityStrike,
     RecoveryFallback,
+    WayDisabled,
     TraceEvent,
     event_type_by_kind,
     from_record,
@@ -58,6 +59,7 @@ __all__ = [
     "PacketDone",
     "ParityStrike",
     "RecoveryFallback",
+    "WayDisabled",
     "TraceEvent",
     "Tracer",
     "epoch_report",

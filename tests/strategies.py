@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.core.constants import RELATIVE_CYCLE_LEVELS
 from repro.core.recovery import NO_DETECTION, TWO_STRIKE
 from repro.harness.config import ExperimentConfig
+from repro.mem.faults import INJECTOR_NAMES
 from repro.oracle.fuzz import CONFIG_SPACE, build_config
 from repro.traffic.generators import SCENARIO_NAMES
 from repro.traffic.scenario import Scenario
@@ -94,6 +95,17 @@ def memory_operations(span: int):
 def operation_sequences(span: int, max_size: int):
     """Non-empty sequences of :func:`memory_operations` accesses."""
     return st.lists(memory_operations(span), min_size=1, max_size=max_size)
+
+
+def injectors():
+    """Every registered fault-injector name (reference first).
+
+    Mirrors :data:`repro.mem.faults.INJECTOR_NAMES` so property tests
+    sweep exactly the set ``make_injector`` accepts -- including the
+    measured-silicon mapped members -- and shrink toward the reference
+    sampler.
+    """
+    return st.sampled_from(INJECTOR_NAMES)
 
 
 def seeds():

@@ -22,6 +22,7 @@ Regenerate a snapshot intentionally with::
     PY
 """
 
+import json
 import pathlib
 
 import pytest
@@ -51,6 +52,24 @@ def test_analytic_artifact_matches_snapshot(name):
 def test_snapshots_exist_for_every_analytic_figure():
     expected = set(RENDERERS) | {f"result_{app}" for app in NETBENCH_APPS}
     assert {path.stem for path in GOLDEN_DIR.glob("*.txt")} == expected
+
+
+def test_reference_metrics_survived_the_faultmap_refactor():
+    # ``pre_faultmap_metrics.json`` froze each default-config run's
+    # metric tail (offered_packets through error_runs) *before* the
+    # measured-silicon injectors landed.  The refactor added repr fields
+    # (``fault_map_params`` in the config, ``ways_disabled`` in the
+    # result) but must not have moved a single byte of the reference
+    # numbers: the ``_site_probabilities`` hook is identity for the
+    # reference injector and consumes no RNG draws.
+    frozen = json.loads((GOLDEN_DIR / "pre_faultmap_metrics.json")
+                        .read_text())
+    assert set(frozen) == set(NETBENCH_APPS)
+    for app, fragment in frozen.items():
+        snapshot = (GOLDEN_DIR / f"result_{app}.txt").read_text()
+        assert fragment in snapshot, (
+            f"{app}: reference metrics drifted across the fault-map "
+            f"refactor")
 
 
 @pytest.mark.parametrize("app", NETBENCH_APPS)

@@ -22,7 +22,7 @@ class ScriptedInjector(FaultInjector):
         super().__init__(seed=0, scale=1.0)
         self._script = list(script)
 
-    def draw(self, cycle_time, bits):
+    def draw(self, cycle_time, bits, address=None):
         if self._script:
             return self._script.pop(0)
         return None

@@ -166,6 +166,45 @@ class TestReplayExactTwin:
         trace = scratch_store.get_or_record(config)
         assert replay_trace(trace, config) is None
 
+    @pytest.mark.parametrize("overrides", [
+        {"injector": "correlated"},
+        {"injector": "tiered"},
+        {"policy": "two-strike-waydisable"},
+    ])
+    def test_mapped_and_way_disable_refuse_and_fall_back(
+            self, scratch_store, overrides):
+        # Refuse-or-reprice: the statistical replay lane samples from the
+        # flat marginal law and prices a fixed miss pattern, so mapped
+        # injectors (address-dependent rates) and way-disabling policies
+        # (capacity changes mid-run) must fall back to execution -- never
+        # silently approximate.  The fallback must count *and* match the
+        # execute backend exactly.
+        from repro.core.recovery import policy_by_name
+        from repro.replay.backend import fallback_count
+        if "policy" in overrides:
+            overrides = dict(overrides,
+                             policy=policy_by_name(overrides["policy"]),
+                             l1_associativity=2)
+        config = make_config(backend="replay", **overrides)
+        trace = scratch_store.get_or_record(
+            config.with_options(backend="execute"))
+        assert replay_trace(trace, config) is None
+        before = fallback_count()
+        replayed = run_replay([config])[0]
+        assert fallback_count() == before + 1
+        executed = run_experiment(config.with_options(backend="execute"))
+        assert _outcome(replayed) == _outcome(executed)
+
+    @pytest.mark.parametrize("injector", ["correlated", "tiered"])
+    def test_fault_free_mapped_replay_is_exact(self, scratch_store,
+                                               injector):
+        # With faults off the map never perturbs anything, so the exact
+        # repricing lane still applies to mapped configs.
+        config = _fault_free(injector=injector)
+        executed = run_experiment(config)
+        replayed = run_replay([config.with_options(backend="replay")])[0]
+        assert _outcome(replayed) == _outcome(executed)
+
 
 class TestBackendPlumbing:
     def test_registry_tables_agree(self):
